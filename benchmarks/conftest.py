@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures.
+
+Every paper artifact has a benchmark that regenerates it at a reduced
+scale (pytest-benchmark measures the regeneration cost and the asserts
+check the reproduced shape).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Scale knobs: BENCH_SCALE shrinks sample counts so a full pass stays in
+CI-friendly territory; ``python -m repro <id> --scale 1.0`` runs any
+experiment at paper size.
+"""
+
+import pytest
+
+from repro.sched import CRanConfig, build_workload
+
+#: Sample-size scale for benchmarked experiment runs.
+BENCH_SCALE = 0.02
+#: Seed shared by all benchmarks (paired workloads across schedulers).
+BENCH_SEED = 2016
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    return CRanConfig(transport_latency_us=500.0)
+
+
+@pytest.fixture(scope="session")
+def bench_workload(bench_config):
+    """A 4-basestation workload reused across scheduler benchmarks."""
+    return build_workload(bench_config, 1000, seed=BENCH_SEED)

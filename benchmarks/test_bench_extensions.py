@@ -1,0 +1,94 @@
+"""Benchmarks for the executable Table 2 and the extension experiments."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_experiment
+from repro.sched import CRanConfig, RtOpexScheduler, run_scheduler
+from repro.sched.migration import plan_migrate_all, plan_steal_half
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+
+
+@pytest.mark.benchmark(group="table2")
+@pytest.mark.parametrize("name", ["pran", "cloudiq"])
+def test_bench_table2_baselines(benchmark, name, bench_config, bench_workload):
+    result = benchmark(run_scheduler, name, bench_config, bench_workload)
+    assert len(result.records) == len(bench_workload)
+
+
+@pytest.mark.benchmark(group="table2")
+def test_bench_table2_ordering(benchmark):
+    output = benchmark.pedantic(
+        run_experiment, args=("table2",), kwargs={"scale": BENCH_SCALE, "seed": BENCH_SEED},
+        rounds=1, iterations=1,
+    )
+    rates = {name: d["miss_rate"] for name, d in output.data.items()}
+    assert rates["rt-opex"] == min(rates.values())
+    assert rates["cloudiq"] == max(rates.values())
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_bench_ext_pooling(benchmark):
+    output = benchmark.pedantic(
+        run_experiment, args=("ext-pooling",), kwargs={"scale": BENCH_SCALE, "seed": BENCH_SEED},
+        rounds=1, iterations=1,
+    )
+    # The paper's pooling claim (sec. 1): tens-of-percent savings.
+    savings = [row["saving"] for row in output.data["rows"]]
+    assert max(savings) >= 0.2
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_bench_ext_harq(benchmark):
+    output = benchmark.pedantic(
+        run_experiment, args=("ext-harq",), kwargs={"scale": BENCH_SCALE, "seed": BENCH_SEED},
+        rounds=1, iterations=1,
+    )
+    goodputs = {n: d["goodput"] for n, d in output.data.items()}
+    assert goodputs["rt-opex"] >= goodputs["partitioned"]
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_bench_ext_virtualization(benchmark):
+    output = benchmark.pedantic(
+        run_experiment, args=("ext-virt",), kwargs={"scale": BENCH_SCALE, "seed": BENCH_SEED},
+        rounds=1, iterations=1,
+    )
+    for sched in ("partitioned", "global", "rt-opex"):
+        assert output.data["vm"][sched] >= output.data["native"][sched]
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_bench_ext_txload(benchmark):
+    output = benchmark.pedantic(
+        run_experiment, args=("ext-txload",), kwargs={"scale": BENCH_SCALE, "seed": BENCH_SEED},
+        rounds=1, iterations=1,
+    )
+    assert output.data["rt-opex"]["rx_mixed"] <= output.data["partitioned"]["rx_mixed"]
+
+
+@pytest.mark.benchmark(group="ablation-planner")
+@pytest.mark.parametrize(
+    "label,planner",
+    [("alg1", None), ("steal-half", plan_steal_half), ("migrate-all", plan_migrate_all)],
+)
+def test_bench_planner_ablation(benchmark, label, planner, bench_workload):
+    cfg = CRanConfig(transport_latency_us=600.0)
+
+    def run():
+        kwargs = {} if planner is None else {"planner": planner}
+        return RtOpexScheduler(cfg, rng=np.random.default_rng(0), **kwargs).run(bench_workload)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(result.records) == len(bench_workload)
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_bench_ext_multiuser(benchmark):
+    output = benchmark.pedantic(
+        run_experiment, args=("ext-multiuser",), kwargs={"scale": BENCH_SCALE, "seed": BENCH_SEED},
+        rounds=1, iterations=1,
+    )
+    for label in ("single-user", "multi-user"):
+        assert output.data[label]["rt-opex"] <= output.data[label]["partitioned"]

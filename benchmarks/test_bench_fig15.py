@@ -1,0 +1,57 @@
+"""Benchmark: Fig. 15 — the headline deadline-miss comparison.
+
+Each scheduler is benchmarked over the identical paired workload at
+RTT/2 = 500 us, and a reduced RTT sweep asserts the figure's shape:
+RT-OPEX at least an order of magnitude below partitioned, global no
+better than partitioned and not improved by doubling its cores.
+"""
+
+import pytest
+
+from repro.sched import CRanConfig, build_workload, run_scheduler
+
+from benchmarks.conftest import BENCH_SEED
+
+
+@pytest.mark.benchmark(group="fig15-schedulers")
+@pytest.mark.parametrize("name", ["partitioned", "rt-opex"])
+def test_bench_fig15_scheduler(benchmark, name, bench_config, bench_workload):
+    result = benchmark(run_scheduler, name, bench_config, bench_workload)
+    assert len(result.records) == len(bench_workload)
+
+
+@pytest.mark.benchmark(group="fig15-schedulers")
+@pytest.mark.parametrize("cores", [8, 16])
+def test_bench_fig15_global(benchmark, cores, bench_workload):
+    cfg = CRanConfig(transport_latency_us=500.0, num_cores=cores)
+    result = benchmark(run_scheduler, "global", cfg, bench_workload)
+    assert len(result.records) == len(bench_workload)
+
+
+@pytest.mark.benchmark(group="fig15-sweep")
+def test_bench_fig15_shape(benchmark):
+    def sweep():
+        rates = {}
+        for rtt in (450.0, 650.0):
+            cfg = CRanConfig(transport_latency_us=rtt)
+            jobs = build_workload(cfg, 2500, seed=BENCH_SEED)
+            rates[rtt] = {
+                "partitioned": run_scheduler("partitioned", cfg, jobs).miss_rate(),
+                "rt-opex": run_scheduler("rt-opex", cfg, jobs).miss_rate(),
+                "global": run_scheduler(
+                    "global", CRanConfig(transport_latency_us=rtt, num_cores=8), jobs
+                ).miss_rate(),
+            }
+        return rates
+
+    rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    low, high = rates[450.0], rates[650.0]
+    # RT-OPEX virtually zero below 500 us.
+    assert low["rt-opex"] < 1e-3
+    # Order-of-magnitude improvement at higher latency.
+    assert high["rt-opex"] * 5 <= high["partitioned"]
+    # Global no better than partitioned.
+    assert high["global"] >= high["partitioned"] * 0.9
+    # Partitioned worsens with latency.
+    assert high["partitioned"] > low["partitioned"]

@@ -1,0 +1,28 @@
+"""Benchmark: Table 1 — Eq. (1) regression over simulated measurements."""
+
+import pytest
+
+from repro.experiments.table1 import generate_measurements
+from repro.timing.model import fit_linear_model
+
+from benchmarks.conftest import BENCH_SEED
+
+
+@pytest.mark.benchmark(group="table1")
+def test_bench_table1_regression(benchmark):
+    antennas, q_m, load_iters, times = generate_measurements(50_000, BENCH_SEED)
+
+    fit = benchmark(fit_linear_model, antennas, q_m, load_iters, times)
+
+    # Shape check against the paper's Table 1.
+    assert fit.coefficients.w0 == pytest.approx(31.4, abs=6.0)
+    assert fit.coefficients.w1 == pytest.approx(169.1, rel=0.05)
+    assert fit.coefficients.w2 == pytest.approx(49.7, rel=0.05)
+    assert fit.coefficients.w3 == pytest.approx(93.0, rel=0.05)
+    assert fit.r_squared > 0.99
+
+
+@pytest.mark.benchmark(group="table1")
+def test_bench_table1_measurement_generation(benchmark):
+    antennas, _, _, _ = benchmark(generate_measurements, 20_000, BENCH_SEED)
+    assert antennas.size == 20_000

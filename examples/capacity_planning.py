@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Capacity planning: how many basestations fit on one compute node?
+
+The operator question behind the paper's Fig. 13 tooling note: given a
+deadline-miss budget (1e-2 is typical for real-time systems), how many
+basestations can a fixed core pool host under each scheduler?  RT-OPEX's
+fine-grained resource pooling lets the same hardware carry more cells.
+
+Run:  python examples/capacity_planning.py [num_subframes]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import CRanConfig, build_workload, run_scheduler
+from repro.analysis.report import Table
+from repro.workload.traces import BasestationTraceConfig, CellularTraceGenerator
+
+MISS_BUDGET = 1e-2
+
+
+def trace_for(num_bs: int, num_subframes: int, seed: int) -> np.ndarray:
+    """Load traces for ``num_bs`` cells cycling through the default mix."""
+    base = [
+        BasestationTraceConfig(mean=0.62, slow_std=0.18, fast_std=0.12),
+        BasestationTraceConfig(mean=0.52, slow_std=0.16, fast_std=0.11),
+        BasestationTraceConfig(mean=0.42, slow_std=0.15, fast_std=0.10),
+        BasestationTraceConfig(mean=0.33, slow_std=0.13, fast_std=0.09),
+    ]
+    configs = [base[i % len(base)] for i in range(num_bs)]
+    return CellularTraceGenerator(configs, seed=seed).generate(num_subframes)
+
+
+def main() -> None:
+    num_subframes = int(sys.argv[1]) if len(sys.argv) > 1 else 3000
+    seed = 2016
+    table = Table(
+        ["basestations", "cores", "partitioned", "global", "rt-opex"],
+        title=f"Deadline-miss rate at RTT/2=500 us ({num_subframes} subframes/BS)",
+    )
+    capacity = {"partitioned": 0, "global": 0, "rt-opex": 0}
+    for num_bs in (2, 3, 4, 5, 6):
+        cores = num_bs * 2
+        cfg = CRanConfig(
+            num_basestations=num_bs, transport_latency_us=500.0, cores_per_bs=2
+        )
+        loads = trace_for(num_bs, num_subframes, seed)
+        jobs = build_workload(cfg, num_subframes, seed=seed, loads=loads)
+        row = [num_bs, cores]
+        for name in ("partitioned", "global", "rt-opex"):
+            run_cfg = cfg if name != "global" else CRanConfig(
+                num_basestations=num_bs,
+                transport_latency_us=500.0,
+                cores_per_bs=2,
+                num_cores=cores,
+            )
+            rate = run_scheduler(name, run_cfg, jobs).miss_rate()
+            row.append(rate)
+            if rate <= MISS_BUDGET:
+                capacity[name] = max(capacity[name], num_bs)
+        table.add_row(row)
+    print(table.render())
+    print(
+        f"\nCells hosted within the {MISS_BUDGET:.0e} miss budget: "
+        + ", ".join(f"{k}={v}" for k, v in capacity.items())
+    )
+
+
+if __name__ == "__main__":
+    main()

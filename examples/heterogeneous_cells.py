@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Heterogeneous deployments: macro cells pooled with IoT small cells.
+
+The paper's discussion (sec. 5 D) argues RT-OPEX shines "for a
+heterogeneous set of basestations and standards (e.g., cellular-IoT)
+where the traffic and channel conditions vary widely": lightly loaded
+IoT cells leave long gaps that the hot macro cell's decode subtasks can
+migrate into.  This example pairs one saturated macro cell with three
+near-idle IoT cells and shows where each scheduler's misses land.
+
+Run:  python examples/heterogeneous_cells.py [num_subframes]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import CRanConfig, build_workload, run_scheduler
+from repro.analysis.report import Table
+from repro.workload.traces import BasestationTraceConfig, CellularTraceGenerator
+
+
+def main() -> None:
+    num_subframes = int(sys.argv[1]) if len(sys.argv) > 1 else 5000
+    seed = 42
+    configs = [
+        BasestationTraceConfig(mean=0.85, slow_std=0.10, fast_std=0.08),  # hot macro
+        BasestationTraceConfig(mean=0.10, slow_std=0.05, fast_std=0.05),  # IoT
+        BasestationTraceConfig(mean=0.10, slow_std=0.05, fast_std=0.05),  # IoT
+        BasestationTraceConfig(mean=0.15, slow_std=0.06, fast_std=0.05),  # IoT
+    ]
+    loads = CellularTraceGenerator(configs, seed=seed).generate(num_subframes)
+    cfg = CRanConfig(transport_latency_us=550.0)
+    jobs = build_workload(cfg, num_subframes, seed=seed, loads=loads)
+
+    table = Table(
+        ["scheduler", "overall miss", "macro (BS0) miss", "IoT miss (max)"],
+        title=f"One hot macro + three IoT cells, RTT/2=550 us ({num_subframes} subframes/BS)",
+    )
+    for name in ("partitioned", "global", "rt-opex"):
+        run_cfg = cfg if name != "global" else CRanConfig(
+            transport_latency_us=550.0, num_cores=8
+        )
+        result = run_scheduler(name, run_cfg, jobs)
+        by_bs = result.miss_rate_by_bs()
+        table.add_row(
+            [
+                result.scheduler_name,
+                result.miss_rate(),
+                by_bs.get(0, 0.0),
+                max(by_bs.get(b, 0.0) for b in (1, 2, 3)),
+            ]
+        )
+        if name == "rt-opex":
+            counts = result.migration_counts()
+            macro_migrations = sum(
+                m.num_subtasks
+                for r in result.records
+                if r.bs_id == 0
+                for m in r.migrations
+            )
+            detail = (
+                f"  rt-opex migrations: fft={counts['fft']}, decode={counts['decode']}; "
+                f"{macro_migrations} subtasks migrated off the macro cell alone"
+            )
+    print(table.render())
+    print(detail)
+    print(
+        "\nThe macro cell monopolizes the IoT cells' idle cycles under "
+        "RT-OPEX — resource pooling at the subframe timescale."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Functional PHY loopback: the real uplink chain, bit for bit.
+
+Runs the complete encode -> channel -> decode pipeline (OFDM, MRC,
+max-log LLR demapping, descrambling, rate dematching, turbo decoding
+with CRC-gated early stopping) on a small 1.4 MHz carrier and reports
+the measured turbo iteration counts and block error rate per SNR — the
+physical phenomenon behind Eq. (1)'s stochastic L term.
+
+Run:  python examples/phy_loopback.py [trials_per_point]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.analysis.report import Table
+from repro.lte.grid import GridConfig
+from repro.lte.subframe import UplinkGrant
+from repro.phy.chain import UplinkReceiver, UplinkTransmitter
+from repro.phy.channel import AwgnChannel
+
+
+def main() -> None:
+    trials = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+    grid = GridConfig(1.4)  # 6 PRBs keeps the turbo blocks small and fast
+    rng = np.random.default_rng(2016)
+
+    table = Table(
+        ["MCS", "SNR (dB)", "mean iterations", "max iterations", "BLER", "bit errors"]
+    )
+    for mcs in (4, 10, 16):
+        grant = UplinkGrant(mcs=mcs, num_prbs=grid.num_prbs, num_antennas=2)
+        for snr_db in (6.0, 12.0, 20.0):
+            tx = UplinkTransmitter(grid=grid)
+            rx = UplinkReceiver(grid=grid)
+            iterations, block_errors, bit_errors = [], 0, 0
+            for trial in range(trials):
+                enc = tx.encode(grant, subframe_index=trial, rng=rng)
+                channel = AwgnChannel(snr_db=snr_db, num_antennas=2, rng=rng)
+                observed = channel.apply(enc.waveform)
+                signal_power = float(np.mean(np.abs(enc.waveform) ** 2))
+                result = rx.decode(
+                    observed,
+                    grant,
+                    noise_var=channel.noise_variance(signal_power),
+                    subframe_index=trial,
+                )
+                iterations.extend(result.iterations)
+                if not result.crc_ok:
+                    block_errors += 1
+                bit_errors += int(np.sum(result.bits != enc.payload))
+            table.add_row(
+                [
+                    mcs,
+                    snr_db,
+                    float(np.mean(iterations)),
+                    int(np.max(iterations)),
+                    block_errors / trials,
+                    bit_errors,
+                ]
+            )
+    print(f"Functional LTE uplink loopback ({trials} subframes per point, 1.4 MHz):")
+    print(table.render())
+    print(
+        "\nNote how iteration counts fall as the SNR margin grows — the "
+        "variability the RT-OPEX schedulers are built around."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, which the PEP 660
+editable-install path requires; ``pip install -e . --no-use-pep517
+--no-build-isolation`` falls back to ``setup.py develop`` and works
+without it.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

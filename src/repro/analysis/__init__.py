@@ -1,0 +1,24 @@
+"""Analysis utilities: distribution statistics and ASCII reporting.
+
+Every experiment driver renders its output through
+:mod:`repro.analysis.report` so the regenerated tables/series look the
+same across the suite and are easy to diff against EXPERIMENTS.md.
+"""
+
+from repro.analysis.report import Table, format_series, render_cdf
+from repro.analysis.stats import (
+    binomial_confidence_interval,
+    empirical_cdf,
+    summarize,
+    tail_fraction,
+)
+
+__all__ = [
+    "Table",
+    "format_series",
+    "render_cdf",
+    "binomial_confidence_interval",
+    "empirical_cdf",
+    "summarize",
+    "tail_fraction",
+]

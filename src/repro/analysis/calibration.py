@@ -1,0 +1,159 @@
+"""Calibrating the iteration model from decoder logs.
+
+The iteration model ships with parameters calibrated to the paper's
+published figures, but an adopter running this library against their own
+PHY (or against the functional chain in :mod:`repro.phy`) can refit it:
+log ``(mcs, snr_db, L)`` triples from real decodes and call
+:func:`fit_iteration_model`.
+
+The fit estimates the four effort parameters of
+:class:`~repro.timing.iterations.IterationModel` by nonlinear least
+squares on the per-(mcs, snr) mean iteration counts:
+
+``E[L] = 1 + (Lm - 1) * sigmoid(-(snr - offset - slope*mcs - mid) / scale)``
+
+(steepening above MCS 24 is kept at the model default unless the samples
+cover that region densely enough to identify it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.timing.iterations import IterationModel
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Fitted model plus fit diagnostics."""
+
+    model: IterationModel
+    rmse: float
+    num_bins: int
+
+
+def _bin_means(
+    mcs: np.ndarray, snr_db: np.ndarray, iterations: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Mean L per (mcs, rounded-snr) bin, with bin weights."""
+    keys: Dict[Tuple[int, float], list] = {}
+    for m, s, l in zip(mcs, snr_db, iterations):
+        keys.setdefault((int(m), round(float(s))), []).append(float(l))
+    ms, ss, means, weights = [], [], [], []
+    for (m, s), values in sorted(keys.items()):
+        ms.append(m)
+        ss.append(s)
+        means.append(np.mean(values))
+        weights.append(len(values))
+    return (
+        np.array(ms, dtype=np.float64),
+        np.array(ss, dtype=np.float64),
+        np.array(means),
+        np.array(weights, dtype=np.float64),
+    )
+
+
+def fit_iteration_model(
+    mcs: np.ndarray,
+    snr_db: np.ndarray,
+    iterations: np.ndarray,
+    max_iterations: int = 4,
+    reference: IterationModel = None,
+) -> CalibrationResult:
+    """Fit effort parameters to logged decoder iteration counts.
+
+    Requires samples spanning several MCS values and SNRs; raises when
+    the data cannot identify the parameters (fewer than 6 bins).
+    """
+    from scipy.optimize import curve_fit
+
+    mcs = np.asarray(mcs, dtype=np.float64)
+    snr_db = np.asarray(snr_db, dtype=np.float64)
+    iterations = np.asarray(iterations, dtype=np.float64)
+    if not (mcs.size == snr_db.size == iterations.size):
+        raise ValueError("mcs, snr_db and iterations must have equal lengths")
+    if np.any(iterations < 1) or np.any(iterations > max_iterations):
+        raise ValueError(f"iteration counts must lie in [1, {max_iterations}]")
+
+    ms, ss, means, weights = _bin_means(mcs, snr_db, iterations)
+    if ms.size < 6:
+        raise ValueError("need at least 6 (mcs, snr) bins to fit 4 parameters")
+
+    ref = reference if reference is not None else IterationModel(max_iterations=max_iterations)
+    steep_start = ref.effort_steepening_start
+    steep = ref.effort_steepening
+
+    def predict(x, offset, slope, midpoint, scale):
+        m, s = x
+        margin = s - (offset + slope * m + np.maximum(0.0, m - steep_start) * steep)
+        z = np.clip((margin - midpoint) / max(scale, 1e-3), -60, 60)
+        frac = 1.0 / (1.0 + np.exp(z))
+        return 1.0 + (max_iterations - 1) * frac
+
+    p0 = (ref.effort_offset, ref.effort_slope, ref.effort_midpoint, ref.effort_scale)
+    params, _ = curve_fit(
+        predict,
+        (ms, ss),
+        means,
+        p0=p0,
+        sigma=1.0 / np.sqrt(weights),
+        maxfev=20_000,
+        bounds=((-40.0, 0.1, -10.0, 0.3), (20.0, 4.0, 20.0, 15.0)),
+    )
+    offset, slope, midpoint, scale = (float(v) for v in params)
+    fitted = IterationModel(
+        max_iterations=max_iterations,
+        effort_offset=offset,
+        effort_slope=slope,
+        effort_midpoint=midpoint,
+        effort_scale=scale,
+        effort_steepening=steep,
+        effort_steepening_start=steep_start,
+        spike_probability=ref.spike_probability,
+        jitter_scale=ref.jitter_scale,
+        success_offset=ref.success_offset,
+        success_slope=ref.success_slope,
+    )
+    residuals = predict((ms, ss), *params) - means
+    rmse = float(np.sqrt(np.average(residuals**2, weights=weights)))
+    return CalibrationResult(model=fitted, rmse=rmse, num_bins=int(ms.size))
+
+
+def log_chain_iterations(
+    grid,
+    mcs_values,
+    snr_values,
+    trials_per_point: int,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Collect (mcs, snr, L) samples from the functional uplink chain.
+
+    Slow (it runs the real turbo decoder); intended for small grids and
+    modest trial counts — the calibration loop, not the simulation loop.
+    """
+    from repro.lte.subframe import UplinkGrant
+    from repro.phy.chain import UplinkReceiver, UplinkTransmitter
+    from repro.phy.channel import AwgnChannel
+
+    logged_mcs, logged_snr, logged_l = [], [], []
+    tx = UplinkTransmitter(grid=grid)
+    rx = UplinkReceiver(grid=grid)
+    for mcs in mcs_values:
+        grant = UplinkGrant(mcs=mcs, num_prbs=grid.num_prbs, num_antennas=1)
+        for snr in snr_values:
+            for trial in range(trials_per_point):
+                enc = tx.encode(grant, subframe_index=trial, rng=rng)
+                channel = AwgnChannel(snr_db=snr, num_antennas=1, rng=rng)
+                obs = channel.apply(enc.waveform)
+                power = float(np.mean(np.abs(enc.waveform) ** 2))
+                result = rx.decode(
+                    obs, grant, channel.noise_variance(power), subframe_index=trial
+                )
+                for l in result.iterations:
+                    logged_mcs.append(mcs)
+                    logged_snr.append(snr)
+                    logged_l.append(l)
+    return np.array(logged_mcs), np.array(logged_snr), np.array(logged_l)

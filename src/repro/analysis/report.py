@@ -1,0 +1,100 @@
+"""ASCII rendering for experiment output.
+
+The benchmark harness regenerates the paper's tables and figure series
+as text: a :class:`Table` per table-like artifact, and CDF/series
+renderers for the figures.  Keeping the formatting in one module makes
+every experiment's output uniform and greppable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+
+class Table:
+    """A simple fixed-width text table."""
+
+    def __init__(self, headers: Sequence[str], title: Optional[str] = None):
+        self.headers = list(headers)
+        self.title = title
+        self.rows: List[List[str]] = []
+
+    def add_row(self, values: Iterable[object]) -> None:
+        row = [self._fmt(v) for v in values]
+        if len(row) != len(self.headers):
+            raise ValueError(f"expected {len(self.headers)} columns, got {len(row)}")
+        self.rows.append(row)
+
+    @staticmethod
+    def _fmt(value: object) -> str:
+        if isinstance(value, float):
+            if value != value:  # NaN
+                return "-"
+            if value == 0:
+                return "0"
+            if abs(value) < 1e-2 or abs(value) >= 1e6:
+                return f"{value:.2e}"
+            return f"{value:.3g}" if abs(value) < 10 else f"{value:.1f}"
+        return str(value)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        sep = "-+-".join("-" * w for w in widths)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def format_series(xs: Sequence[float], ys: Sequence[float], x_label: str, y_label: str) -> str:
+    """Two-column series, one (x, y) pair per line."""
+    table = Table([x_label, y_label])
+    for x, y in zip(xs, ys):
+        table.add_row([x, y])
+    return table.render()
+
+
+def render_cdf(
+    samples: np.ndarray,
+    label: str,
+    points: Optional[np.ndarray] = None,
+    num_points: int = 11,
+) -> str:
+    """Textual CDF of a sample set at evenly spaced quantile points."""
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.size == 0:
+        return f"{label}: (no samples)"
+    if points is None:
+        points = np.linspace(samples.min(), samples.max(), num_points)
+    sorted_samples = np.sort(samples)
+    cdf = np.searchsorted(sorted_samples, points, side="right") / samples.size
+    table = Table([label, "CDF"])
+    for x, p in zip(points, cdf):
+        table.add_row([float(x), float(p)])
+    return table.render()
+
+
+def render_histogram(samples: np.ndarray, label: str, bins: int = 10, width: int = 40) -> str:
+    """ASCII histogram (bar chart) of a sample set."""
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.size == 0:
+        return f"{label}: (no samples)"
+    counts, edges = np.histogram(samples, bins=bins)
+    peak = counts.max() or 1
+    lines = [label]
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"  [{lo:10.1f}, {hi:10.1f}) {count:8d} {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,123 @@
+"""Scheduler-result persistence: export/import per-subframe records.
+
+``SchedulerResult`` objects are the unit of analysis; exporting them as
+CSV lets operators post-process runs with external tooling (the paper's
+implementation framework, Fig. 13, promises exactly this profiling
+role: "deadline-miss rate, load, memory usage ... help operators design
+and provision compute resources").
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+from repro.sched.base import CRanConfig, SchedulerResult, SubframeRecord
+
+PathLike = Union[str, Path]
+
+_COLUMNS = (
+    "bs_id",
+    "index",
+    "mcs",
+    "load",
+    "arrival_us",
+    "deadline_us",
+    "start_us",
+    "finish_us",
+    "missed",
+    "dropped",
+    "drop_stage",
+    "core_id",
+    "queue_delay_us",
+    "cache_penalty_us",
+    "gap_us",
+    "iterations",
+    "crc_pass",
+    "migrated_subtasks",
+)
+
+
+def save_result_csv(path: PathLike, result: SchedulerResult) -> None:
+    """Write one row per subframe record.
+
+    Migration batches are flattened to their subtask count; the scheduler
+    name and config are recorded in a comment-style first line.
+    """
+    with open(Path(path), "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["# scheduler", result.scheduler_name, "rtt_us", result.config.transport_latency_us]
+        )
+        writer.writerow(_COLUMNS)
+        for r in result.records:
+            writer.writerow(
+                [
+                    r.bs_id,
+                    r.index,
+                    r.mcs,
+                    f"{r.load:.6f}",
+                    f"{r.arrival_us:.3f}",
+                    f"{r.deadline_us:.3f}",
+                    f"{r.start_us:.3f}",
+                    f"{r.finish_us:.3f}",
+                    int(r.missed),
+                    int(r.dropped),
+                    r.drop_stage or "",
+                    r.core_id,
+                    f"{r.queue_delay_us:.3f}",
+                    f"{r.cache_penalty_us:.3f}",
+                    f"{r.gap_us:.3f}",
+                    "/".join(str(i) for i in r.iterations),
+                    int(r.crc_pass),
+                    r.migrated_subtasks,
+                ]
+            )
+
+
+def load_result_csv(path: PathLike) -> SchedulerResult:
+    """Reload a result written by :func:`save_result_csv`.
+
+    Migration batch details are not round-tripped (only their subtask
+    totals were exported); everything the analysis helpers consume is.
+    """
+    with open(Path(path), newline="") as handle:
+        reader = csv.reader(handle)
+        meta = next(reader, None)
+        if not meta or meta[0] != "# scheduler":
+            raise ValueError(f"{path} is not a scheduler-result CSV")
+        scheduler_name = meta[1]
+        rtt_us = float(meta[3])
+        header = next(reader, None)
+        if tuple(header or ()) != _COLUMNS:
+            raise ValueError(f"{path} has an unexpected column layout")
+        records = []
+        for row in reader:
+            if not row:
+                continue
+            values = dict(zip(_COLUMNS, row))
+            record = SubframeRecord(
+                bs_id=int(values["bs_id"]),
+                index=int(values["index"]),
+                mcs=int(values["mcs"]),
+                load=float(values["load"]),
+                arrival_us=float(values["arrival_us"]),
+                deadline_us=float(values["deadline_us"]),
+                start_us=float(values["start_us"]),
+                finish_us=float(values["finish_us"]),
+                missed=bool(int(values["missed"])),
+                dropped=bool(int(values["dropped"])),
+                drop_stage=values["drop_stage"] or None,
+                core_id=int(values["core_id"]),
+                queue_delay_us=float(values["queue_delay_us"]),
+                cache_penalty_us=float(values["cache_penalty_us"]),
+                gap_us=float(values["gap_us"]),
+                iterations=tuple(
+                    int(i) for i in values["iterations"].split("/") if i
+                ),
+                crc_pass=bool(int(values["crc_pass"])),
+            )
+            records.append(record)
+    config = CRanConfig(transport_latency_us=rtt_us)
+    return SchedulerResult(scheduler_name, config, records)

@@ -1,0 +1,71 @@
+"""Distribution statistics used across the experiment suite."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+def empirical_cdf(samples: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """P(X <= x) evaluated at each ``points`` entry."""
+    samples = np.sort(np.asarray(samples, dtype=np.float64))
+    points = np.asarray(points, dtype=np.float64)
+    if samples.size == 0:
+        return np.zeros_like(points)
+    return np.searchsorted(samples, points, side="right") / samples.size
+
+
+def tail_fraction(samples: np.ndarray, threshold: float) -> float:
+    """Fraction of samples strictly above ``threshold``."""
+    samples = np.asarray(samples)
+    if samples.size == 0:
+        return 0.0
+    return float(np.mean(samples > threshold))
+
+
+def summarize(samples: np.ndarray) -> Dict[str, float]:
+    """Mean / percentiles summary for a latency-style sample set."""
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.size == 0:
+        return {k: math.nan for k in ("mean", "p50", "p90", "p99", "p999", "max")}
+    return {
+        "mean": float(samples.mean()),
+        "p50": float(np.percentile(samples, 50)),
+        "p90": float(np.percentile(samples, 90)),
+        "p99": float(np.percentile(samples, 99)),
+        "p999": float(np.percentile(samples, 99.9)),
+        "max": float(samples.max()),
+    }
+
+
+def binomial_confidence_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> Tuple[float, float]:
+    """Wilson score interval for a miss-rate estimate.
+
+    Deadline-miss rates in the interesting regime are 1e-2 to 1e-4, so
+    naive normal intervals misbehave; Wilson keeps the bounds inside
+    [0, 1] and is accurate at small counts.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must be within [0, trials]")
+    p = successes / trials
+    denom = 1.0 + z**2 / trials
+    centre = (p + z**2 / (2 * trials)) / denom
+    margin = (z / denom) * math.sqrt(p * (1 - p) / trials + z**2 / (4 * trials**2))
+    return (max(0.0, centre - margin), min(1.0, centre + margin))
+
+
+def geometric_mean_ratio(numerators: np.ndarray, denominators: np.ndarray) -> float:
+    """Geometric mean of pairwise ratios; ignores zero denominators."""
+    numerators = np.asarray(numerators, dtype=np.float64)
+    denominators = np.asarray(denominators, dtype=np.float64)
+    mask = (denominators > 0) & (numerators > 0)
+    if not mask.any():
+        return math.nan
+    ratios = numerators[mask] / denominators[mask]
+    return float(np.exp(np.mean(np.log(ratios))))

@@ -1,0 +1,68 @@
+"""Command-line entry point: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig15 --scale 0.2
+    python -m repro all --scale 0.1 --seed 7
+
+``--scale 1.0`` reproduces the paper-sized runs (30 000 subframes per
+basestation for the scheduler experiments); smaller scales shrink the
+sample counts proportionally for quick looks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments import list_experiments, run_experiment
+from repro.experiments.base import DEFAULT_SEED
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rtopex",
+        description="RT-OPEX (CoNEXT 2016) reproduction: experiment runner",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.2,
+        help="sample-size scale; 1.0 = paper-sized runs (default 0.2)",
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED, help="RNG seed")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.experiment == "list":
+        for exp in list_experiments():
+            print(f"{exp.experiment_id:8s}  {exp.title}")
+        return 0
+
+    ids = (
+        [e.experiment_id for e in list_experiments()]
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    for experiment_id in ids:
+        start = time.time()
+        output = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
+        elapsed = time.time() - start
+        print(output)
+        print(f"[{experiment_id} finished in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""LTE numerology and platform constants used throughout the reproduction.
+
+All times in this package are expressed in **microseconds** unless a name
+says otherwise; LTE's natural unit (the subframe) is 1000 us, and the paper
+reports every latency in ms or us.  Keeping a single unit avoids the classic
+ms/us confusion when mixing transport and processing latencies.
+
+The platform coefficients at the bottom are the paper's Table 1 estimates,
+measured on an Intel Xeon E5-2660 (SandyBridge) GPP; they are the duration
+oracle for the discrete-event simulation (see ``repro.timing.model``).
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# LTE numerology (3GPP TS 36.211, normal cyclic prefix)
+# --------------------------------------------------------------------------
+
+#: Duration of one subframe -- the basic unit of processing -- in us.
+SUBFRAME_US = 1000.0
+
+#: OFDM symbols per subframe with normal cyclic prefix (2 slots x 7 symbols).
+SYMBOLS_PER_SUBFRAME = 14
+
+#: Subcarriers per physical resource block (PRB).
+SUBCARRIERS_PER_PRB = 12
+
+#: Resource elements carried by one PRB over a full subframe.
+RES_PER_PRB = SUBCARRIERS_PER_PRB * SYMBOLS_PER_SUBFRAME  # 168
+
+#: Bandwidth (MHz) -> number of PRBs (TS 36.104 Table 5.6-1).
+PRBS_PER_BANDWIDTH = {1.4: 6, 3.0: 15, 5.0: 25, 10.0: 50, 15.0: 75, 20.0: 100}
+
+#: Bandwidth (MHz) -> complex sampling rate in Msps (FFT size x 15 kHz).
+SAMPLE_RATE_MSPS = {1.4: 1.92, 3.0: 3.84, 5.0: 7.68, 10.0: 15.36, 15.0: 23.04, 20.0: 30.72}
+
+#: Bandwidth (MHz) -> FFT size.
+FFT_SIZE = {1.4: 128, 3.0: 256, 5.0: 512, 10.0: 1024, 15.0: 1536, 20.0: 2048}
+
+#: Bytes per complex IQ sample on the fronthaul (16-bit I + 16-bit Q).
+IQ_SAMPLE_BYTES = 4
+
+#: Maximum turbo code block size in bits (TS 36.212 sec. 5.1.2).
+MAX_CODE_BLOCK_BITS = 6144
+
+#: CRC length appended to the transport block and to each code block.
+TB_CRC_BITS = 24
+CB_CRC_BITS = 24
+
+# --------------------------------------------------------------------------
+# End-to-end timing (paper sec. 2.4)
+# --------------------------------------------------------------------------
+
+#: HARQ round trip: uplink subframe N is acknowledged in downlink N+4 (ms->us).
+HARQ_DEADLINE_US = 3000.0
+
+#: Tx processing of the response starts 1 ms before over-the-air transmission,
+#: so only 2 ms is effectively available for Rx processing plus transport.
+RX_BUDGET_US = 2000.0
+
+#: Default maximum number of turbo decoder iterations (paper sec. 2.1).
+DEFAULT_MAX_TURBO_ITERATIONS = 4
+
+# --------------------------------------------------------------------------
+# Table 1: linear processing-time model coefficients (us), GPP platform
+# --------------------------------------------------------------------------
+
+#: Constant term w0 of Eq. (1).
+W0_US = 31.4
+#: Per-antenna cost w1 of Eq. (1).
+W1_US = 169.1
+#: Per-modulation-order cost w2 of Eq. (1).
+W2_US = 49.7
+#: Per (subcarrier-load x iteration) cost w3 of Eq. (1).
+W3_US = 93.0
+#: Goodness of fit the paper reports for the GPP platform.
+TABLE1_R2 = 0.992
+
+# --------------------------------------------------------------------------
+# Evaluation defaults (paper sec. 4.2)
+# --------------------------------------------------------------------------
+
+#: Number of basestations multiplexed on the compute node.
+DEFAULT_NUM_BASESTATIONS = 4
+#: Antennas per basestation.
+DEFAULT_NUM_ANTENNAS = 2
+#: Evaluation bandwidth in MHz (50 PRBs).
+DEFAULT_BANDWIDTH_MHZ = 10.0
+#: Cores assigned per basestation under partitioned scheduling (ceil(Tmax)).
+DEFAULT_CORES_PER_BS = 2
+#: Subframes logged per basestation in the paper's evaluation.
+DEFAULT_TRACE_SUBFRAMES = 30000
+#: Fixed AWGN SNR used in the evaluation (dB).
+DEFAULT_EVAL_SNR_DB = 30.0
+#: Migration overhead delta measured in the paper (us, sec. 4.4).
+DEFAULT_MIGRATION_OVERHEAD_US = 20.0

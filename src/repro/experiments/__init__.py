@@ -1,0 +1,33 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each driver registers itself under the artifact's id (``table1``,
+``fig15``, ...) and returns an :class:`~repro.experiments.base.ExperimentOutput`
+containing the regenerated rows/series as text plus the raw data.  Run
+them via ``python -m repro <id>`` or through the benchmark suite.
+"""
+
+from repro.experiments.base import ExperimentOutput, get_experiment, list_experiments, run_experiment
+
+# Import for registration side effects.
+from repro.experiments import (  # noqa: F401  (registration imports)
+    ext_harq,
+    ext_multiuser,
+    ext_pooling,
+    ext_txload,
+    ext_virtualization,
+    fig01_traces,
+    fig03_processing,
+    fig04_parallel,
+    fig06_cloud,
+    fig07_warp,
+    fig14_load_cdf,
+    fig15_deadline,
+    fig16_gaps,
+    fig17_load,
+    fig18_overhead,
+    fig19_global,
+    table1,
+    table2,
+)
+
+__all__ = ["ExperimentOutput", "get_experiment", "list_experiments", "run_experiment"]

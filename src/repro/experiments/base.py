@@ -1,0 +1,83 @@
+"""Experiment registry and shared evaluation defaults."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.constants import DEFAULT_TRACE_SUBFRAMES
+
+#: Default seed for every experiment (the paper's publication year).
+DEFAULT_SEED = 2016
+
+
+@dataclass
+class ExperimentOutput:
+    """What an experiment driver returns.
+
+    ``text`` is the regenerated table/series rendered for the terminal;
+    ``data`` holds the raw numbers so tests and EXPERIMENTS.md tooling
+    can assert on them without re-parsing text.
+    """
+
+    experiment_id: str
+    title: str
+    text: str
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        header = f"== {self.experiment_id}: {self.title} =="
+        return f"{header}\n{self.text}"
+
+
+#: Driver signature: (scale, seed) -> ExperimentOutput.
+ExperimentFn = Callable[[float, int], ExperimentOutput]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    experiment_id: str
+    title: str
+    fn: ExperimentFn
+
+
+_REGISTRY: Dict[str, Experiment] = {}
+
+
+def register(experiment_id: str, title: str) -> Callable[[ExperimentFn], ExperimentFn]:
+    """Decorator registering a driver under its artifact id."""
+
+    def wrap(fn: ExperimentFn) -> ExperimentFn:
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = Experiment(experiment_id, title, fn)
+        return fn
+
+    return wrap
+
+
+def list_experiments() -> List[Experiment]:
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    if experiment_id not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
+    return _REGISTRY[experiment_id]
+
+
+def run_experiment(experiment_id: str, scale: float = 1.0, seed: int = DEFAULT_SEED) -> ExperimentOutput:
+    """Run one registered experiment.
+
+    ``scale`` shrinks the sample sizes proportionally (CI/benchmarks use
+    small scales; ``1.0`` reproduces the paper-sized runs).
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return get_experiment(experiment_id).fn(scale, seed)
+
+
+def scaled_subframes(scale: float, minimum: int = 500) -> int:
+    """Trace length for scheduler experiments at a given scale."""
+    return max(minimum, int(DEFAULT_TRACE_SUBFRAMES * scale))

@@ -1,0 +1,107 @@
+"""Fig. 3: processing-time variability of the uplink chain.
+
+Four panels:
+
+* (a) total time vs MCS for each iteration count (N = 2) — the 2.8x
+  spread (0.5 ms at MCS 0 to 1.4 ms at MCS 27 with two iterations);
+* (b) total time vs MCS at different SNRs (N = 2) — dropping from 20 dB
+  to 10 dB adds >50% for mid/high MCS via extra iterations;
+* (c) total time vs number of antennas — +169 us per antenna;
+* (d) the distribution of the model error E next to the cyclictest
+  stress benchmark, showing E is platform- (not model-) driven.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import Table
+from repro.analysis.stats import summarize, tail_fraction
+from repro.experiments.base import ExperimentOutput, register
+from repro.lte.mcs import max_mcs, modulation_order, subcarrier_load
+from repro.timing.iterations import IterationModel
+from repro.timing.model import LinearTimingModel
+from repro.timing.platform import CyclictestEmulator, PlatformNoiseModel
+
+
+@register("fig3", "Processing time vs iterations / SNR / antennas; error distribution")
+def run(scale: float, seed: int) -> ExperimentOutput:
+    rng = np.random.default_rng(seed)
+    model = LinearTimingModel()
+    iters_model = IterationModel(max_iterations=4)
+    sections = []
+    data: dict = {}
+
+    # (a) vs iterations, N = 2.
+    table_a = Table(
+        ["MCS"] + [f"L={l} (us)" for l in range(1, 5)],
+        title="Fig. 3(a): total processing time vs MCS per iteration count (N=2)",
+    )
+    panel_a = {}
+    for mcs in range(0, max_mcs() + 1, 3):
+        row = [mcs]
+        for l in range(1, 5):
+            t = model.total_time(2, modulation_order(mcs), subcarrier_load(mcs), l)
+            row.append(t)
+            panel_a.setdefault(l, []).append(t)
+        table_a.add_row(row)
+    sections.append(table_a.render())
+    data["vs_iterations"] = panel_a
+
+    # (b) vs SNR: expected time with the iteration model, N = 2.
+    snrs = [10.0, 20.0, 30.0]
+    table_b = Table(
+        ["MCS"] + [f"SNR={int(s)}dB (us)" for s in snrs],
+        title="Fig. 3(b): expected processing time vs MCS per SNR (N=2)",
+    )
+    panel_b = {}
+    for mcs in range(0, max_mcs() + 1, 3):
+        row = [mcs]
+        for snr in snrs:
+            mean_l = iters_model.mean_iterations(mcs, snr)
+            t = model.total_time(2, modulation_order(mcs), subcarrier_load(mcs), mean_l)
+            row.append(t)
+            panel_b.setdefault(snr, []).append(t)
+        table_b.add_row(row)
+    sections.append(table_b.render())
+    data["vs_snr"] = {str(k): v for k, v in panel_b.items()}
+
+    # (c) vs antennas at a fixed post-processing SNR.
+    table_c = Table(
+        ["antennas", "MCS 13 (us)", "MCS 27 (us)"],
+        title="Fig. 3(c): processing time vs number of antennas (L=2)",
+    )
+    panel_c = []
+    for n in (1, 2, 4):
+        t13 = model.total_time(n, modulation_order(13), subcarrier_load(13), 2)
+        t27 = model.total_time(n, modulation_order(27), subcarrier_load(27), 2)
+        table_c.add_row([n, t13, t27])
+        panel_c.append((n, t13, t27))
+    sections.append(table_c.render())
+    data["vs_antennas"] = panel_c
+
+    # (d) platform error vs cyclictest benchmark.
+    samples = max(5000, int(1_000_000 * scale))
+    noise = PlatformNoiseModel().draw(rng, samples)
+    cyclictest = CyclictestEmulator().run(rng, samples)
+    table_d = Table(
+        ["distribution", "mean", "p99", "p99.9", "max", "P(>150us)", "P(>400us)"],
+        title="Fig. 3(d): model error E vs cyclictest latency (us)",
+    )
+    for label, arr in (("model error E", noise), ("cyclictest", cyclictest)):
+        s = summarize(arr)
+        table_d.add_row(
+            [label, s["mean"], s["p99"], s["p999"], s["max"],
+             tail_fraction(arr, 150.0), tail_fraction(arr, 400.0)]
+        )
+    sections.append(table_d.render())
+    data["error"] = summarize(noise)
+    data["cyclictest"] = summarize(cyclictest)
+    data["error_p999"] = float(np.percentile(noise, 99.9))
+
+    return ExperimentOutput(
+        experiment_id="fig3",
+        title="Processing-time variability",
+        text="\n\n".join(sections),
+        data=data,
+    )

@@ -1,0 +1,51 @@
+"""Fig. 7: one-way WARP transport latency vs number of antennas.
+
+The paper's testbed measurement: radios on 1 GbE aggregated into the
+GPP's 10 GbE port.  Anchors: ~620 us maximum at 5 MHz x 16 radios,
+~0.9 ms at 10 MHz x 8, above 1 ms at 10 MHz x 16 — hence at most 8
+antennas at 10 MHz before queueing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import Table
+from repro.experiments.base import ExperimentOutput, register
+from repro.lte.grid import GridConfig
+from repro.transport.warp import WarpTransportModel
+
+
+@register("fig7", "One-way WARP transport latency vs antennas")
+def run(scale: float, seed: int) -> ExperimentOutput:
+    del scale
+    rng = np.random.default_rng(seed)
+    model = WarpTransportModel()
+    antennas = [1, 2, 4, 8, 12, 16]
+    bandwidths = [5.0, 10.0, 20.0]
+    table = Table(
+        ["antennas"] + [f"{bw:g} MHz (us)" for bw in bandwidths],
+        title="Fig. 7 (reproduced): max one-way latency",
+    )
+    series = {bw: [] for bw in bandwidths}
+    for n in antennas:
+        row = [n]
+        for bw in bandwidths:
+            grid = GridConfig(bw)
+            # Max over a batch of jittered draws, as the paper plots maxima.
+            latency = max(model.draw(grid, n, rng) for _ in range(50))
+            row.append(latency)
+            series[bw].append(latency)
+        table.add_row(row)
+    limits = {
+        bw: WarpTransportModel().max_supported_antennas(GridConfig(bw)) for bw in bandwidths
+    }
+    note = "max antennas without queueing: " + ", ".join(
+        f"{bw:g} MHz -> {n}" for bw, n in limits.items()
+    )
+    return ExperimentOutput(
+        experiment_id="fig7",
+        title="WARP transport latency",
+        text=table.render() + "\n" + note,
+        data={"series": {str(k): v for k, v in series.items()}, "limits": {str(k): v for k, v in limits.items()}},
+    )

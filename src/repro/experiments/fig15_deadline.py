@@ -1,0 +1,64 @@
+"""Fig. 15: deadline-miss rate vs transport latency — the headline result.
+
+Four basestations (N = 2, 10 MHz, 100% PRB, SNR 30 dB) on one GPP node;
+RTT/2 swept over 400-700 us.  Schedulers: partitioned (2 cores/BS),
+global with 8 and 16 cores, and RT-OPEX.  Expected shape (paper):
+
+* RT-OPEX virtually zero below 500 us and about an order of magnitude
+  below partitioned/global throughout (1e-2 -> 1e-3);
+* partitioned rising once RTT/2 exceeds 400 us (budget < 1600 us);
+* global slightly worse than partitioned and not improved by doubling
+  the cores from 8 to 16.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.report import Table
+from repro.experiments.base import ExperimentOutput, register, scaled_subframes
+from repro.sched import CRanConfig, build_workload, run_scheduler
+
+RTT_SWEEP_US = (400.0, 450.0, 500.0, 550.0, 600.0, 650.0, 700.0)
+
+
+def sweep(num_subframes: int, seed: int, rtts=RTT_SWEEP_US) -> Dict[str, List[float]]:
+    """Run the full scheduler comparison; returns miss-rate series."""
+    series: Dict[str, List[float]] = {
+        "partitioned": [],
+        "global-8": [],
+        "global-16": [],
+        "rt-opex": [],
+    }
+    for rtt in rtts:
+        cfg = CRanConfig(transport_latency_us=rtt)
+        jobs = build_workload(cfg, num_subframes, seed=seed)
+        series["partitioned"].append(run_scheduler("partitioned", cfg, jobs).miss_rate())
+        series["rt-opex"].append(run_scheduler("rt-opex", cfg, jobs).miss_rate())
+        for cores in (8, 16):
+            cfg_g = CRanConfig(transport_latency_us=rtt, num_cores=cores)
+            series[f"global-{cores}"].append(
+                run_scheduler("global", cfg_g, jobs).miss_rate()
+            )
+    return series
+
+
+@register("fig15", "Deadline-miss rate vs RTT/2 for all schedulers")
+def run(scale: float, seed: int) -> ExperimentOutput:
+    num_subframes = scaled_subframes(scale)
+    series = sweep(num_subframes, seed)
+    table = Table(
+        ["RTT/2 (us)", "partitioned", "global-8", "global-16", "rt-opex"],
+        title=f"Fig. 15 (reproduced): deadline-miss rate, {num_subframes} subframes/BS",
+    )
+    for i, rtt in enumerate(RTT_SWEEP_US):
+        table.add_row(
+            [rtt]
+            + [series[name][i] for name in ("partitioned", "global-8", "global-16", "rt-opex")]
+        )
+    return ExperimentOutput(
+        experiment_id="fig15",
+        title="Deadline-miss vs transport latency",
+        text=table.render(),
+        data={"rtt_us": list(RTT_SWEEP_US), **series},
+    )

@@ -1,0 +1,93 @@
+"""Fig. 16: scheduling gaps and the migrations that fill them.
+
+Left panel: the CDF of idle gaps the partitioned schedule leaves on each
+core (the paper: for RTT/2 < 500 us, gaps exceed 500 us for ~60% of
+subframes).  Right panel: the fraction of subframes for which RT-OPEX
+migrates FFT and decode subtasks as RTT/2 grows — decode migrations
+(large subtasks, clipped by the shrinking deadline) fall away while the
+small FFT subtasks keep migrating.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import Table
+from repro.analysis.stats import tail_fraction
+from repro.experiments.base import ExperimentOutput, register, scaled_subframes
+from repro.sched import CRanConfig, build_workload, run_scheduler
+
+RTTS = (400.0, 500.0, 600.0, 700.0)
+
+
+@register("fig16", "Partitioned gaps and RT-OPEX migrations vs RTT/2")
+def run(scale: float, seed: int) -> ExperimentOutput:
+    num_subframes = scaled_subframes(scale)
+    gap_rows = []
+    migration_rows = []
+    data: dict = {"rtt_us": list(RTTS)}
+    gap_tail, fft_frac, dec_frac, dec_heavy_frac = [], [], [], []
+
+    donor_windows = []
+    for rtt in RTTS:
+        cfg = CRanConfig(transport_latency_us=rtt)
+        jobs = build_workload(cfg, num_subframes, seed=seed)
+        part = run_scheduler("partitioned", cfg, jobs)
+        gaps = part.gaps()
+        gap_tail.append(tail_fraction(gaps, 500.0))
+        # The window a *donor* can actually use shrinks with RTT: its
+        # own deadline clips the helpers' free time (sec. 4.3 "the gaps
+        # get narrower").  Estimated per subframe as the budget left
+        # when its decode stage starts.
+        windows = [
+            max(0.0, cfg.processing_budget_us - (j.work.task("fft").serial_duration_us
+                + j.work.task("demod").serial_duration_us + j.noise_us))
+            for j in jobs
+        ]
+        donor_windows.append(float(np.median(windows)))
+        gap_rows.append(
+            [rtt, float(np.median(gaps)), tail_fraction(gaps, 500.0), donor_windows[-1]]
+        )
+
+        opex = run_scheduler("rt-opex", cfg, jobs)
+        fft_frac.append(opex.migration_fraction("fft"))
+        dec_frac.append(opex.migration_fraction("decode"))
+        # Decode migrations of the heavy subframes (MCS >= 24) are the
+        # deadline-saving ones; their share shrinks as the budget tightens.
+        heavy = [r for r in opex.records if r.mcs >= 24]
+        moved = sum(
+            m.num_subtasks for r in heavy for m in r.migrations if m.task == "decode"
+        )
+        possible = sum(len(r.iterations) for r in heavy)
+        dec_heavy_frac.append(moved / possible if possible else 0.0)
+        migration_rows.append([rtt, fft_frac[-1], dec_frac[-1], dec_heavy_frac[-1]])
+
+    table_g = Table(
+        ["RTT/2 (us)", "median gap (us)", "P(gap > 500us)", "median donor window (us)"],
+        title="Fig. 16 left (reproduced): partitioned gaps and donor windows",
+    )
+    for row in gap_rows:
+        table_g.add_row(row)
+    table_m = Table(
+        ["RTT/2 (us)", "frac SF w/ FFT migration", "frac SF w/ decode migration",
+         "decode subtasks migrated (MCS>=24)"],
+        title="Fig. 16 right (reproduced): RT-OPEX migrations",
+    )
+    for row in migration_rows:
+        table_m.add_row(row)
+
+    data.update(
+        {
+            "donor_window_us": donor_windows,
+            "gap_tail_500us": gap_tail,
+            "fft_migration_fraction": fft_frac,
+            "decode_migration_fraction": dec_frac,
+            "decode_heavy_subtask_fraction": dec_heavy_frac,
+        }
+    )
+    return ExperimentOutput(
+        experiment_id="fig16",
+        title="Gaps and migrations",
+        text=table_g.render() + "\n\n" + table_m.render(),
+        data=data,
+    )

@@ -1,0 +1,87 @@
+"""Fig. 17: deadline-miss rate vs offered load at RTT/2 = 500 us.
+
+The paper fixes RTT/2 = 500 us and "show[s] the deadline-miss
+performance for different subframe loads (corresponding to different
+MCS values)": we run each scheduler once over the standard trace and
+report the per-MCS (per-Mbps) miss-rate breakdown.  Expected shape: all
+schedulers saturate toward certain misses at the top loads, while
+RT-OPEX holds the 1e-2 threshold up to a meaningfully higher load — the
+paper measures ~15% (31 vs 27 Mbps).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.report import Table
+from repro.experiments.base import ExperimentOutput, register, scaled_subframes
+from repro.lte.mcs import throughput_mbps
+from repro.sched import CRanConfig, build_workload, run_scheduler
+
+#: Minimum subframes in an MCS bucket for its rate to be reported.
+MIN_BUCKET = 200
+
+
+def threshold_load(miss_by_mbps: Dict[float, float], threshold: float = 1e-2) -> float:
+    """Highest offered load whose bucket stays at or below the threshold.
+
+    Walks the buckets in increasing load and stops at the first breach,
+    so an isolated quiet bucket beyond the knee does not count.
+    """
+    supported = 0.0
+    for mbps in sorted(miss_by_mbps):
+        if miss_by_mbps[mbps] <= threshold:
+            supported = mbps
+        else:
+            break
+    return supported
+
+
+@register("fig17", "Deadline-miss rate vs offered load (RTT/2 = 500 us)")
+def run(scale: float, seed: int) -> ExperimentOutput:
+    num_subframes = scaled_subframes(scale)
+    cfg = CRanConfig(transport_latency_us=500.0)
+    jobs = build_workload(cfg, num_subframes, seed=seed)
+
+    names = ("partitioned", "global", "rt-opex")
+    by_mcs: Dict[str, Dict[int, float]] = {}
+    counts: Dict[int, int] = {}
+    for job in jobs:
+        counts[job.subframe.grant.mcs] = counts.get(job.subframe.grant.mcs, 0) + 1
+    reported = sorted(m for m, c in counts.items() if c >= MIN_BUCKET)
+
+    for name in names:
+        run_cfg = cfg if name != "global" else CRanConfig(
+            transport_latency_us=500.0, num_cores=8
+        )
+        result = run_scheduler(name, run_cfg, jobs, seed=seed)
+        by_mcs[name] = result.miss_rate_by_mcs()
+
+    table = Table(
+        ["MCS", "load (Mbps)", "subframes", "partitioned", "global-8", "rt-opex"],
+        title=f"Fig. 17 (reproduced): per-load miss rate, {num_subframes} subframes/BS",
+    )
+    mbps_axis: List[float] = []
+    series: Dict[str, List[float]] = {n: [] for n in names}
+    for mcs in reported:
+        mbps = throughput_mbps(mcs)
+        mbps_axis.append(mbps)
+        row = [mcs, mbps, counts[mcs]]
+        for name in names:
+            rate = by_mcs[name].get(mcs, 0.0)
+            series[name].append(rate)
+            row.append(rate)
+        table.add_row(row)
+
+    supported = {
+        name: threshold_load(dict(zip(mbps_axis, series[name]))) for name in names
+    }
+    note = "load supported at 1e-2 miss threshold: " + ", ".join(
+        f"{n}={v:.1f} Mbps" for n, v in supported.items()
+    )
+    return ExperimentOutput(
+        experiment_id="fig17",
+        title="Miss rate vs offered load",
+        text=table.render() + "\n" + note,
+        data={"mbps": mbps_axis, **series, "supported": supported, "counts": counts},
+    )

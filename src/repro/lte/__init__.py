@@ -1,0 +1,38 @@
+"""LTE standard substrate: MCS/TBS tables, grid geometry, segmentation.
+
+This subpackage encodes the small slice of 3GPP TS 36.211/36.212/36.213
+that the paper's workload depends on: how a modulation-and-coding scheme
+(MCS) and a PRB allocation turn into a transport block size, a subcarrier
+load ``D`` (bits per resource element), and a set of turbo code blocks that
+can be decoded in parallel.
+"""
+
+from repro.lte.grid import GridConfig
+from repro.lte.mcs import (
+    MCS_TABLE,
+    McsEntry,
+    max_mcs,
+    mcs_entry,
+    modulation_order,
+    subcarrier_load,
+    throughput_mbps,
+    transport_block_size,
+)
+from repro.lte.segmentation import SegmentationResult, segment_transport_block
+from repro.lte.subframe import Subframe, UplinkGrant
+
+__all__ = [
+    "GridConfig",
+    "MCS_TABLE",
+    "McsEntry",
+    "max_mcs",
+    "mcs_entry",
+    "modulation_order",
+    "subcarrier_load",
+    "throughput_mbps",
+    "transport_block_size",
+    "SegmentationResult",
+    "segment_transport_block",
+    "Subframe",
+    "UplinkGrant",
+]

@@ -1,0 +1,96 @@
+"""Resource-grid geometry for an LTE uplink subframe.
+
+The paper's workload model reduces a subframe to a handful of geometric
+quantities: the number of PRBs, the number of resource elements (REs)
+available for data, and the IQ sample count that must cross the fronthaul.
+``GridConfig`` derives all of them from the channel bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constants import (
+    FFT_SIZE,
+    IQ_SAMPLE_BYTES,
+    PRBS_PER_BANDWIDTH,
+    RES_PER_PRB,
+    SAMPLE_RATE_MSPS,
+    SUBFRAME_US,
+    SYMBOLS_PER_SUBFRAME,
+)
+
+
+@dataclass(frozen=True)
+class GridConfig:
+    """Geometry of an LTE uplink resource grid for one bandwidth.
+
+    Parameters
+    ----------
+    bandwidth_mhz:
+        Channel bandwidth; must be one of the standard LTE bandwidths
+        (1.4, 3, 5, 10, 15, 20 MHz).
+
+    Notes
+    -----
+    The paper evaluates a 10 MHz system: 50 PRBs, 8400 REs per subframe
+    and 15360 complex samples per subframe per antenna (15.36 Msps).
+    """
+
+    bandwidth_mhz: float = 10.0
+    num_prbs: int = field(init=False)
+    fft_size: int = field(init=False)
+    sample_rate_msps: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mhz not in PRBS_PER_BANDWIDTH:
+            valid = sorted(PRBS_PER_BANDWIDTH)
+            raise ValueError(
+                f"unsupported LTE bandwidth {self.bandwidth_mhz} MHz; expected one of {valid}"
+            )
+        object.__setattr__(self, "num_prbs", PRBS_PER_BANDWIDTH[self.bandwidth_mhz])
+        object.__setattr__(self, "fft_size", FFT_SIZE[self.bandwidth_mhz])
+        object.__setattr__(self, "sample_rate_msps", SAMPLE_RATE_MSPS[self.bandwidth_mhz])
+
+    @property
+    def num_subcarriers(self) -> int:
+        """Occupied data subcarriers (12 per PRB)."""
+        return self.num_prbs * 12
+
+    @property
+    def resource_elements(self) -> int:
+        """Total REs in one subframe across all data symbols.
+
+        The paper quotes 8400 REs for 10 MHz (50 PRBs x 12 subcarriers x
+        14 symbols); consistent with treating all symbols as data-bearing
+        for the purpose of the subcarrier-load metric.
+        """
+        return self.num_prbs * RES_PER_PRB
+
+    def resource_elements_for(self, num_prbs: int) -> int:
+        """REs available in a subframe for an allocation of ``num_prbs``."""
+        self._check_prbs(num_prbs)
+        return num_prbs * RES_PER_PRB
+
+    @property
+    def samples_per_subframe(self) -> int:
+        """Complex IQ samples per subframe per antenna (sample rate x 1 ms)."""
+        return int(round(self.sample_rate_msps * SUBFRAME_US))
+
+    @property
+    def samples_per_symbol(self) -> int:
+        """Nominal samples per OFDM symbol (ignores CP length variation)."""
+        return self.samples_per_subframe // SYMBOLS_PER_SUBFRAME
+
+    def subframe_bytes(self, num_antennas: int) -> int:
+        """Fronthaul bytes for one subframe across ``num_antennas`` antennas."""
+        if num_antennas < 1:
+            raise ValueError("num_antennas must be >= 1")
+        return self.samples_per_subframe * IQ_SAMPLE_BYTES * num_antennas
+
+    def _check_prbs(self, num_prbs: int) -> None:
+        if not 1 <= num_prbs <= self.num_prbs:
+            raise ValueError(
+                f"PRB allocation {num_prbs} outside [1, {self.num_prbs}] for "
+                f"{self.bandwidth_mhz} MHz"
+            )

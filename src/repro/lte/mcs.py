@@ -1,0 +1,151 @@
+"""MCS and transport-block-size tables (TS 36.213).
+
+The paper maps its measured basestation load onto uplink MCS indices 0-27
+and derives the *subcarrier load* ``D`` -- data bits per resource element --
+from the transport block size (TBS).  For 10 MHz / 50 PRBs, ``D`` spans
+0.16 (MCS 0) to 3.7 (MCS 27) bits per RE, matching sec. 2.1 of the paper.
+
+The 50-PRB TBS column is taken from TS 36.213 Table 7.1.7.2.1-1.  For other
+PRB allocations we scale the per-PRB spectral efficiency of the 50-PRB
+column and round to a byte boundary; this is an approximation of the full
+110-column standard table (documented in DESIGN.md) that preserves
+monotonicity and the load range the paper's evaluation exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import RES_PER_PRB
+
+#: Reference PRB count for the exact TBS column below.
+_REFERENCE_PRBS = 50
+
+#: TS 36.213 Table 7.1.7.2.1-1, N_PRB = 50 column, I_TBS = 0..26 (bits).
+_TBS_50PRB = (
+    1384,   # I_TBS 0
+    1800,   # I_TBS 1
+    2216,   # I_TBS 2
+    2856,   # I_TBS 3
+    3624,   # I_TBS 4
+    4392,   # I_TBS 5
+    5160,   # I_TBS 6
+    6200,   # I_TBS 7
+    6968,   # I_TBS 8
+    7992,   # I_TBS 9
+    8760,   # I_TBS 10
+    9912,   # I_TBS 11
+    11448,  # I_TBS 12
+    12960,  # I_TBS 13
+    14112,  # I_TBS 14
+    15264,  # I_TBS 15
+    16416,  # I_TBS 16
+    17568,  # I_TBS 17
+    19848,  # I_TBS 18
+    21384,  # I_TBS 19
+    22920,  # I_TBS 20
+    25456,  # I_TBS 21
+    27376,  # I_TBS 22
+    28336,  # I_TBS 23
+    30576,  # I_TBS 24
+    31704,  # I_TBS 25
+    32856,  # I_TBS 26
+)
+
+
+@dataclass(frozen=True)
+class McsEntry:
+    """One row of the PUSCH MCS table (TS 36.213 Table 8.6.1-1)."""
+
+    index: int
+    modulation_order: int  # Q_m: 2 = QPSK, 4 = 16QAM, 6 = 64QAM
+    tbs_index: int  # I_TBS
+
+    @property
+    def modulation_name(self) -> str:
+        return {2: "QPSK", 4: "16QAM", 6: "64QAM"}[self.modulation_order]
+
+
+def _build_mcs_table() -> tuple:
+    """PUSCH MCS 0..28: Q_m and I_TBS per TS 36.213 Table 8.6.1-1."""
+    entries = []
+    for mcs in range(0, 11):
+        entries.append(McsEntry(mcs, 2, mcs))
+    for mcs in range(11, 21):
+        entries.append(McsEntry(mcs, 4, mcs - 1))
+    for mcs in range(21, 29):
+        entries.append(McsEntry(mcs, 6, mcs - 2))
+    return tuple(entries)
+
+
+#: The full PUSCH MCS table, indexed by MCS.
+MCS_TABLE = _build_mcs_table()
+
+
+def max_mcs() -> int:
+    """Highest MCS the evaluation uses (the paper sweeps 0-27)."""
+    return 27
+
+
+def mcs_entry(mcs: int) -> McsEntry:
+    """Return the table row for ``mcs``, validating the index."""
+    if not 0 <= mcs < len(MCS_TABLE):
+        raise ValueError(f"MCS {mcs} outside [0, {len(MCS_TABLE) - 1}]")
+    return MCS_TABLE[mcs]
+
+
+def modulation_order(mcs: int) -> int:
+    """Modulation order Q_m (2/4/6) for an MCS index.
+
+    This is the ``K`` term of the paper's Eq. (1).
+    """
+    return mcs_entry(mcs).modulation_order
+
+
+def transport_block_size(mcs: int, num_prbs: int = _REFERENCE_PRBS) -> int:
+    """Transport block size in bits for ``mcs`` over ``num_prbs`` PRBs.
+
+    Exact for 50 PRBs; proportional per-PRB scaling (rounded to a byte)
+    otherwise.  Monotone in both arguments.
+    """
+    if num_prbs < 1:
+        raise ValueError("num_prbs must be >= 1")
+    tbs50 = _TBS_50PRB[mcs_entry(mcs).tbs_index]
+    if num_prbs == _REFERENCE_PRBS:
+        return tbs50
+    scaled = tbs50 * num_prbs / _REFERENCE_PRBS
+    # Round down to a whole byte but never below the smallest code block
+    # payload (16 bits + CRC is the 40-bit turbo minimum, see segmentation).
+    return max(16, int(scaled // 8) * 8)
+
+
+def subcarrier_load(mcs: int, num_prbs: int = _REFERENCE_PRBS) -> float:
+    """Subcarrier load ``D``: data bits per resource element.
+
+    ``D = TBS / REs``; the paper quotes D in [0.16, 3.7] bits/RE for
+    10 MHz (8400 REs) between MCS 0 and MCS 27.
+    """
+    res = num_prbs * RES_PER_PRB
+    return transport_block_size(mcs, num_prbs) / res
+
+
+def throughput_mbps(mcs: int, num_prbs: int = _REFERENCE_PRBS) -> float:
+    """Nominal PHY throughput in Mbps (one TBS per 1 ms subframe).
+
+    The paper's Fig. 17 x-axis: 1.3 Mbps at MCS 0 up to 31.7 Mbps at
+    MCS 27 for 50 PRBs.
+    """
+    return transport_block_size(mcs, num_prbs) / 1000.0
+
+
+def mcs_for_throughput(target_mbps: float, num_prbs: int = _REFERENCE_PRBS) -> int:
+    """Smallest MCS whose nominal throughput reaches ``target_mbps``.
+
+    Saturates at :func:`max_mcs` when the target exceeds the peak rate.
+    """
+    if target_mbps <= 0:
+        return 0
+    for mcs in range(max_mcs() + 1):
+        if throughput_mbps(mcs, num_prbs) >= target_mbps:
+            return mcs
+    return max_mcs()

@@ -1,0 +1,131 @@
+"""Code-block segmentation (TS 36.212 sec. 5.1.2).
+
+Turbo decoding is the most expensive task in the uplink chain, and the
+paper parallelizes it *per code block*: "at MCS 27, LTE utilizes 6
+code-blocks all of which can be decoded concurrently".  The number and
+sizes of code blocks therefore determine RT-OPEX's decode subtask
+granularity, so we implement the standard segmentation rule faithfully:
+
+* a 24-bit CRC is appended to the transport block;
+* if the result exceeds Z = 6144 bits it is split into C blocks, each of
+  which gets its own 24-bit CRC;
+* block sizes are drawn from the turbo interleaver size table (K+ / K-),
+  with filler bits F padding the first block.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.constants import CB_CRC_BITS, MAX_CODE_BLOCK_BITS, TB_CRC_BITS
+
+
+def _interleaver_sizes() -> tuple:
+    """Valid turbo interleaver block sizes K (TS 36.212 Table 5.1.3-3)."""
+    sizes = list(range(40, 512 + 1, 8))
+    sizes += list(range(528, 1024 + 1, 16))
+    sizes += list(range(1056, 2048 + 1, 32))
+    sizes += list(range(2112, 6144 + 1, 64))
+    return tuple(sizes)
+
+
+#: All 188 valid turbo code block sizes, ascending.
+TURBO_BLOCK_SIZES = _interleaver_sizes()
+
+
+def smallest_block_size_at_least(bits: int) -> int:
+    """Smallest valid turbo block size K >= ``bits``."""
+    if bits > TURBO_BLOCK_SIZES[-1]:
+        raise ValueError(f"{bits} exceeds the maximum turbo block size")
+    for k in TURBO_BLOCK_SIZES:
+        if k >= bits:
+            return k
+    raise AssertionError("unreachable: table covers [40, 6144]")
+
+
+def largest_block_size_below(bits: int) -> int:
+    """Largest valid turbo block size K < ``bits`` (K- in the standard)."""
+    candidates = [k for k in TURBO_BLOCK_SIZES if k < bits]
+    if not candidates:
+        raise ValueError(f"no turbo block size below {bits}")
+    return candidates[-1]
+
+
+@dataclass(frozen=True)
+class SegmentationResult:
+    """Outcome of segmenting one transport block.
+
+    Attributes
+    ----------
+    num_code_blocks:
+        C -- the decode parallelism RT-OPEX can exploit.
+    k_plus, k_minus:
+        The two block sizes used (K- is 0 when every block is K+).
+    c_plus, c_minus:
+        How many blocks of each size.
+    filler_bits:
+        F -- padding bits prepended to the first block.
+    payload_bits:
+        B' -- total bits across blocks including per-block CRCs.
+    """
+
+    num_code_blocks: int
+    k_plus: int
+    k_minus: int
+    c_plus: int
+    c_minus: int
+    filler_bits: int
+    payload_bits: int
+
+    @property
+    def block_sizes(self) -> tuple:
+        """Sizes of every code block, K- blocks first (standard order)."""
+        return (self.k_minus,) * self.c_minus + (self.k_plus,) * self.c_plus
+
+    def __post_init__(self) -> None:
+        if self.c_minus + self.c_plus != self.num_code_blocks:
+            raise ValueError("c_plus + c_minus must equal num_code_blocks")
+
+
+def segment_transport_block(tbs_bits: int) -> SegmentationResult:
+    """Segment a transport block of ``tbs_bits`` payload bits.
+
+    Follows TS 36.212 sec. 5.1.2.  For the paper's headline case
+    (TBS 31704 at MCS 27 / 50 PRBs) this yields C = 6 code blocks.
+    """
+    if tbs_bits < 1:
+        raise ValueError("tbs_bits must be positive")
+    b = tbs_bits + TB_CRC_BITS
+    z = MAX_CODE_BLOCK_BITS
+    if b <= z:
+        num_blocks = 1
+        b_prime = b
+    else:
+        num_blocks = math.ceil(b / (z - CB_CRC_BITS))
+        b_prime = b + num_blocks * CB_CRC_BITS
+
+    # First segmentation size: K+ is the smallest K with C * K >= B'.
+    k_plus = smallest_block_size_at_least(math.ceil(b_prime / num_blocks))
+    if num_blocks == 1:
+        k_minus, c_minus, c_plus = 0, 0, 1
+    else:
+        k_minus = largest_block_size_below(k_plus)
+        delta_k = k_plus - k_minus
+        c_minus = math.floor((num_blocks * k_plus - b_prime) / delta_k)
+        c_plus = num_blocks - c_minus
+    filler = c_plus * k_plus + c_minus * k_minus - b_prime
+    return SegmentationResult(
+        num_code_blocks=num_blocks,
+        k_plus=k_plus,
+        k_minus=k_minus,
+        c_plus=c_plus,
+        c_minus=c_minus,
+        filler_bits=filler,
+        payload_bits=b_prime,
+    )
+
+
+def num_code_blocks(tbs_bits: int) -> int:
+    """Convenience wrapper: just the code-block count C."""
+    return segment_transport_block(tbs_bits).num_code_blocks

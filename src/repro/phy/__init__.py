@@ -1,0 +1,50 @@
+"""Functional LTE uplink baseband in numpy.
+
+This subpackage is the reproduction's substitute for the OpenAirInterface
+PHY library the paper builds on.  It implements a working (bit-exact
+encode/decode round trip) uplink chain:
+
+``bits -> CRC -> segmentation -> turbo encode -> rate match -> scramble ->
+QAM -> OFDM grid -> channel -> FFT -> equalize -> LLR demap -> descramble ->
+rate dematch -> turbo decode (CRC-gated iterations) -> bits``
+
+Its role in the reproduction is twofold:
+
+1. it grounds the task/subtask decomposition used by the schedulers
+   (per-antenna/symbol FFT subtasks, per-code-block decode subtasks), and
+2. it produces a *genuine* stochastic turbo iteration count ``L`` as a
+   function of SNR and MCS, which is the main source of processing-time
+   variation in the paper's Eq. (1).
+
+It is intentionally a clean-room simplified implementation (max-log-MAP,
+simplified rate matching) rather than a bit-compatible 36.212 codec; see
+DESIGN.md for the substitution rationale.
+"""
+
+from repro.phy.chain import ChainResult, UplinkReceiver, UplinkTransmitter
+from repro.phy.channel import AwgnChannel, BlockFadingChannel
+from repro.phy.crc import crc16, crc24a, crc24b, crc_check
+from repro.phy.equalizer import mrc_combine, zf_equalize
+from repro.phy.ofdm import OfdmModulator, OfdmDemodulator
+from repro.phy.qam import qam_demap_llr, qam_map
+from repro.phy.turbo import TurboCodec, TurboDecodeResult
+
+__all__ = [
+    "ChainResult",
+    "UplinkReceiver",
+    "UplinkTransmitter",
+    "AwgnChannel",
+    "BlockFadingChannel",
+    "crc16",
+    "crc24a",
+    "crc24b",
+    "crc_check",
+    "mrc_combine",
+    "zf_equalize",
+    "OfdmModulator",
+    "OfdmDemodulator",
+    "qam_demap_llr",
+    "qam_map",
+    "TurboCodec",
+    "TurboDecodeResult",
+]

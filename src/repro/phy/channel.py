@@ -1,0 +1,93 @@
+"""Wireless channel models and SNR utilities.
+
+The paper's evaluation fixes an AWGN channel at 30 dB SNR and emulates
+load through MCS variation (sec. 4.2); the model-validation sweep (Fig. 3)
+varies SNR from 0 to 30 dB.  We provide AWGN and a per-subframe block
+Rayleigh fading channel for multi-antenna reception.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+def snr_db_to_noise_var(snr_db: float, signal_power: float = 1.0) -> float:
+    """Complex noise variance for a target SNR at ``signal_power``."""
+    return signal_power / (10.0 ** (snr_db / 10.0))
+
+
+def measure_snr_db(clean: np.ndarray, noisy: np.ndarray) -> float:
+    """Empirical SNR between a clean reference and its noisy version."""
+    clean = np.asarray(clean)
+    noise = np.asarray(noisy) - clean
+    p_sig = float(np.mean(np.abs(clean) ** 2))
+    p_noise = float(np.mean(np.abs(noise) ** 2))
+    if p_noise == 0:
+        return float("inf")
+    return 10.0 * np.log10(p_sig / p_noise)
+
+
+@dataclass
+class AwgnChannel:
+    """Additive white Gaussian noise channel, replicated per antenna.
+
+    Each receive antenna observes the same transmitted waveform with
+    independent noise, the setting under which MRC combining yields the
+    well-known ``10*log10(N)`` array gain.
+    """
+
+    snr_db: float
+    num_antennas: int = 1
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+
+    def apply(self, waveform: np.ndarray) -> np.ndarray:
+        """Return a ``(num_antennas, ...)`` stack of noisy observations."""
+        waveform = np.asarray(waveform, dtype=np.complex128)
+        power = float(np.mean(np.abs(waveform) ** 2))
+        if power == 0:
+            power = 1.0
+        nvar = snr_db_to_noise_var(self.snr_db, power)
+        shape = (self.num_antennas,) + waveform.shape
+        noise = self.rng.normal(scale=np.sqrt(nvar / 2.0), size=shape + (2,))
+        noise = noise[..., 0] + 1j * noise[..., 1]
+        return waveform[None, ...] + noise
+
+    def noise_variance(self, signal_power: float = 1.0) -> float:
+        """Per-antenna complex noise variance for unit signal power."""
+        return snr_db_to_noise_var(self.snr_db, signal_power)
+
+
+@dataclass
+class BlockFadingChannel:
+    """Per-subframe flat Rayleigh fading with independent antenna gains.
+
+    The complex gain is constant over a subframe (block fading), the
+    standard assumption for 1 ms LTE scheduling studies; the receiver is
+    assumed to estimate it perfectly (the paper's channel estimator is
+    part of the demod task but its accuracy is not evaluated).
+    """
+
+    snr_db: float
+    num_antennas: int = 1
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    last_gains: Optional[np.ndarray] = field(default=None, init=False)
+
+    def apply(self, waveform: np.ndarray) -> np.ndarray:
+        """Fade + AWGN; records the drawn gains in :attr:`last_gains`."""
+        waveform = np.asarray(waveform, dtype=np.complex128)
+        gains = self.rng.normal(scale=np.sqrt(0.5), size=(self.num_antennas, 2))
+        gains = gains[:, 0] + 1j * gains[:, 1]
+        self.last_gains = gains
+        power = float(np.mean(np.abs(waveform) ** 2)) or 1.0
+        nvar = snr_db_to_noise_var(self.snr_db, power)
+        shape = (self.num_antennas,) + waveform.shape
+        noise = self.rng.normal(scale=np.sqrt(nvar / 2.0), size=shape + (2,))
+        noise = noise[..., 0] + 1j * noise[..., 1]
+        faded = gains.reshape((self.num_antennas,) + (1,) * waveform.ndim) * waveform[None, ...]
+        return faded + noise
+
+    def noise_variance(self, signal_power: float = 1.0) -> float:
+        return snr_db_to_noise_var(self.snr_db, signal_power)

@@ -1,0 +1,73 @@
+"""Multi-antenna combining and equalization.
+
+The demod task of the paper's three-task chain contains channel
+estimation, equalization and demapping; equalization "runs on each OFDM
+symbol" and is therefore parallelizable per symbol (sec. 2.2).  We
+implement maximum-ratio combining (MRC) — the paper's footnote 1 assumes
+MRC — plus a zero-forcing equalizer for single-stream channels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mrc_combine(observations: np.ndarray, gains: np.ndarray) -> tuple:
+    """Maximum-ratio combine per-antenna observations of one stream.
+
+    Parameters
+    ----------
+    observations:
+        ``(num_antennas, ...)`` received frequency-domain symbols.
+    gains:
+        ``(num_antennas,)`` complex channel gains (flat fading), or a
+        broadcastable per-RE gain array.
+
+    Returns
+    -------
+    (combined, effective_noise_scale):
+        ``combined`` has the antenna axis removed and unit channel gain;
+        ``effective_noise_scale`` is the factor by which the per-antenna
+        noise variance is reduced (divide noise_var by it for demapping).
+    """
+    observations = np.asarray(observations, dtype=np.complex128)
+    gains = np.asarray(gains, dtype=np.complex128)
+    if observations.shape[0] != gains.shape[0]:
+        raise ValueError("antenna axes of observations and gains differ")
+    g = gains.reshape((gains.shape[0],) + (1,) * (observations.ndim - 1))
+    total = np.sum(np.abs(g) ** 2, axis=0)
+    if np.any(total == 0):
+        raise ValueError("all-zero channel gains cannot be combined")
+    combined = np.sum(np.conj(g) * observations, axis=0) / total
+    # Post-MRC noise variance is nvar / sum(|g|^2).
+    return combined, float(np.mean(total))
+
+
+def zf_equalize(observation: np.ndarray, gain: np.ndarray) -> np.ndarray:
+    """Zero-forcing equalization of a single-antenna observation."""
+    observation = np.asarray(observation, dtype=np.complex128)
+    gain = np.asarray(gain, dtype=np.complex128)
+    if np.any(gain == 0):
+        raise ValueError("zero channel gain cannot be inverted")
+    return observation / gain
+
+
+def estimate_flat_gains(observations: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Least-squares flat-fading gain estimate per antenna.
+
+    Emulates the chain's channel-estimation block using the (known)
+    transmitted grid as pilots; the scheduling study does not depend on
+    estimation error, so perfect pilots are acceptable.
+    """
+    observations = np.asarray(observations, dtype=np.complex128)
+    reference = np.asarray(reference, dtype=np.complex128)
+    denom = np.sum(np.abs(reference) ** 2)
+    if denom == 0:
+        raise ValueError("reference grid has zero energy")
+    flat_ref = reference.ravel()
+    # vdot conjugates its first argument, so this is sum(conj(ref) * obs),
+    # the least-squares estimate of g in obs = g * ref + noise.
+    return np.array(
+        [np.vdot(flat_ref, obs.ravel()) / denom for obs in observations],
+        dtype=np.complex128,
+    )

@@ -1,0 +1,105 @@
+"""QAM mapping and soft demapping (TS 36.211 sec. 7.1).
+
+The demapper is one of the constellation-level blocks whose processing
+time the paper models as a function of the modulation order ``K`` (Eq. (1)
+observation (ii)).  We implement the LTE Gray mappings for QPSK, 16QAM and
+64QAM and an exact max-log-MAP LLR demapper.
+
+LLR convention: positive LLR means "bit is 0" (LLR = log P(b=0)/P(b=1)),
+matching the turbo decoder in :mod:`repro.phy.turbo`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _lte_constellation(q_m: int) -> np.ndarray:
+    """Constellation points indexed by the integer formed from Q_m bits.
+
+    Bit order follows TS 36.211: even-position bits select I, odd-position
+    bits select Q (MSB first within each axis).
+    """
+    if q_m == 2:
+        scale = np.sqrt(2.0)
+
+        def axis(bits):
+            (b,) = bits
+            return 1 - 2 * b
+
+    elif q_m == 4:
+        scale = np.sqrt(10.0)
+
+        def axis(bits):
+            b0, b1 = bits
+            return (1 - 2 * b0) * (2 - (1 - 2 * b1))
+
+    elif q_m == 6:
+        scale = np.sqrt(42.0)
+
+        def axis(bits):
+            b0, b1, b2 = bits
+            return (1 - 2 * b0) * (4 - (1 - 2 * b1) * (2 - (1 - 2 * b2)))
+
+    else:
+        raise ValueError(f"unsupported modulation order {q_m}")
+
+    points = np.empty(1 << q_m, dtype=np.complex128)
+    half = q_m // 2
+    for idx in range(1 << q_m):
+        bits = [(idx >> (q_m - 1 - i)) & 1 for i in range(q_m)]
+        i_val = axis(bits[0::2][:half])
+        q_val = axis(bits[1::2][:half])
+        points[idx] = (i_val + 1j * q_val) / scale
+    return points
+
+
+#: Cache of unit-energy constellations keyed by modulation order.
+_CONSTELLATIONS = {q: _lte_constellation(q) for q in (2, 4, 6)}
+
+
+def constellation(q_m: int) -> np.ndarray:
+    """Unit-average-energy constellation for modulation order ``q_m``."""
+    if q_m not in _CONSTELLATIONS:
+        raise ValueError(f"unsupported modulation order {q_m}")
+    return _CONSTELLATIONS[q_m]
+
+
+def qam_map(bits: np.ndarray, q_m: int) -> np.ndarray:
+    """Map a bit array (length divisible by ``q_m``) to complex symbols."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.size % q_m:
+        raise ValueError(f"bit count {bits.size} not divisible by Q_m={q_m}")
+    groups = bits.reshape(-1, q_m)
+    weights = 1 << np.arange(q_m - 1, -1, -1)
+    indices = groups @ weights
+    return constellation(q_m)[indices]
+
+
+def qam_demap_llr(symbols: np.ndarray, q_m: int, noise_var: float) -> np.ndarray:
+    """Exact max-log LLRs for each transmitted bit.
+
+    ``LLR(b_i) = (min_{s: b_i=1} |y-s|^2 - min_{s: b_i=0} |y-s|^2) / N0``
+
+    Positive values favour bit 0.  ``noise_var`` is the complex noise
+    variance per symbol after equalization.
+    """
+    if noise_var <= 0:
+        raise ValueError("noise_var must be positive")
+    symbols = np.asarray(symbols, dtype=np.complex128).ravel()
+    points = constellation(q_m)
+    # Squared distance from every received symbol to every point.
+    dist = np.abs(symbols[:, None] - points[None, :]) ** 2
+    llrs = np.empty((symbols.size, q_m), dtype=np.float64)
+    idx = np.arange(points.size)
+    for bit in range(q_m):
+        mask1 = (idx >> (q_m - 1 - bit)) & 1 == 1
+        d1 = dist[:, mask1].min(axis=1)
+        d0 = dist[:, ~mask1].min(axis=1)
+        llrs[:, bit] = (d1 - d0) / noise_var
+    return llrs.ravel()
+
+
+def hard_bits_from_llrs(llrs: np.ndarray) -> np.ndarray:
+    """Hard decision: bit 0 when LLR >= 0."""
+    return (np.asarray(llrs) < 0).astype(np.uint8)

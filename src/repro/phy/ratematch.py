@@ -1,0 +1,142 @@
+"""Rate matching: sub-block interleaver + circular buffer (TS 36.212 5.1.4).
+
+Rate matching fits each turbo-encoded code block into its share of the
+subframe's coded-bit budget ``G = REs * Q_m``.  We implement the standard
+structure — a 32-column sub-block interleaver per stream and a circular
+buffer with cyclic bit selection — with one documented simplification:
+the 12 trellis-termination bits bypass the buffer and are always
+transmitted (the standard folds them into the streams).  This keeps the
+transform exactly invertible, which the tests verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.phy.turbo import TAIL_BITS
+
+#: TS 36.212 Table 5.1.4-1 inter-column permutation for turbo rate matching.
+COLUMN_PERMUTATION = (
+    0, 16, 8, 24, 4, 20, 12, 28, 2, 18, 10, 26, 6, 22, 14, 30,
+    1, 17, 9, 25, 5, 21, 13, 29, 3, 19, 11, 27, 7, 23, 15, 31,
+)
+_NUM_COLUMNS = 32
+
+
+@lru_cache(maxsize=None)
+def _subblock_read_order(stream_len: int) -> tuple:
+    """Source indices in interleaved read order; -1 marks dummy padding.
+
+    The stream is written row-wise into an R x 32 matrix padded with
+    dummies *at the front*, columns are permuted, and the matrix is read
+    column-wise.
+    """
+    rows = -(-stream_len // _NUM_COLUMNS)
+    padded = rows * _NUM_COLUMNS
+    matrix = np.full(padded, -1, dtype=np.int64)
+    matrix[padded - stream_len :] = np.arange(stream_len)
+    matrix = matrix.reshape(rows, _NUM_COLUMNS)
+    order = matrix[:, list(COLUMN_PERMUTATION)].T.ravel()
+    return tuple(order.tolist())
+
+
+@lru_cache(maxsize=None)
+def circular_buffer_order(block_size: int) -> tuple:
+    """Codeword indices (into the 3K body) in circular-buffer order.
+
+    Buffer layout per the standard: interleaved systematic stream first,
+    then the two parity streams interlaced element-by-element.  Dummies
+    are skipped, so the result is a permutation of ``range(3K)``.
+    """
+    k = block_size
+    sys_order = np.array(_subblock_read_order(k), dtype=np.int64)
+    par_order = sys_order.copy()
+
+    buffer = []
+    for src in sys_order:
+        if src >= 0:
+            buffer.append(src)  # systematic: offset 0
+    for p1, p2 in zip(par_order, par_order):
+        if p1 >= 0:
+            buffer.append(k + p1)  # parity 1: offset K
+        if p2 >= 0:
+            buffer.append(2 * k + p2)  # parity 2: offset 2K
+    order = tuple(buffer)
+    if len(order) != 3 * k:
+        raise AssertionError("circular buffer must be a permutation of 3K indices")
+    return order
+
+
+@dataclass(frozen=True)
+class RateMatchConfig:
+    """Rate-matching geometry for one code block."""
+
+    block_size: int  # K, information bits
+    num_output_bits: int  # E, bits this block contributes to the subframe
+
+    def __post_init__(self) -> None:
+        if self.num_output_bits < TAIL_BITS + 1:
+            raise ValueError(
+                f"E={self.num_output_bits} cannot even carry the {TAIL_BITS} tail bits"
+            )
+
+    @property
+    def body_bits(self) -> int:
+        """Bits selected from the circular buffer (tail excluded)."""
+        return self.num_output_bits - TAIL_BITS
+
+
+def rate_match(coded: np.ndarray, config: RateMatchConfig) -> np.ndarray:
+    """Select ``E`` transmit bits from a ``3K + 12`` turbo codeword.
+
+    Cyclic selection from the circular buffer (repetition when E > 3K,
+    puncturing when E < 3K) plus the always-transmitted tail.
+    """
+    coded = np.asarray(coded, dtype=np.uint8)
+    k = config.block_size
+    expected = 3 * k + TAIL_BITS
+    if coded.size != expected:
+        raise ValueError(f"expected {expected} coded bits, got {coded.size}")
+    order = np.array(circular_buffer_order(k), dtype=np.int64)
+    body = coded[order[np.arange(config.body_bits) % order.size]]
+    return np.concatenate([body, coded[3 * k :]])
+
+
+def rate_dematch(llrs: np.ndarray, config: RateMatchConfig) -> np.ndarray:
+    """Invert :func:`rate_match` on soft values.
+
+    Repeated positions accumulate (chase combining); punctured positions
+    stay at LLR 0 (erasure).  Output follows the encoder layout
+    ``sys | par1 | par2 | tail``.
+    """
+    llrs = np.asarray(llrs, dtype=np.float64)
+    if llrs.size != config.num_output_bits:
+        raise ValueError(f"expected {config.num_output_bits} LLRs, got {llrs.size}")
+    k = config.block_size
+    order = np.array(circular_buffer_order(k), dtype=np.int64)
+    out = np.zeros(3 * k + TAIL_BITS, dtype=np.float64)
+    positions = order[np.arange(config.body_bits) % order.size]
+    np.add.at(out, positions, llrs[: config.body_bits])
+    out[3 * k :] = llrs[config.body_bits :]
+    return out
+
+
+def bits_per_code_block(total_bits: int, num_blocks: int, modulation_order: int) -> list:
+    """Split the subframe's coded-bit budget ``G`` across ``C`` blocks.
+
+    Mirrors TS 36.212 sec. 5.1.4.1.2: every block's share is a multiple
+    of ``Q_m``; the first blocks get the floor share and the remainder
+    blocks one extra symbol's worth of bits.
+    """
+    if num_blocks < 1:
+        raise ValueError("num_blocks must be >= 1")
+    if total_bits % modulation_order:
+        raise ValueError("total_bits must be a multiple of the modulation order")
+    symbols = total_bits // modulation_order
+    base = symbols // num_blocks
+    extra = symbols % num_blocks
+    shares = [base] * (num_blocks - extra) + [base + 1] * extra
+    return [s * modulation_order for s in shares]

@@ -1,0 +1,71 @@
+"""Pseudo-random (Gold) sequences for scrambling (TS 36.211 sec. 7.2).
+
+The uplink chain scrambles coded bits with a length-31 Gold sequence seeded
+from the cell identity and subframe number.  Scrambling is cheap but it is
+part of the ``decode`` task boundary in the paper's task decomposition
+(descrambler lives in the decode task), so we implement the real sequence
+rather than a placeholder XOR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Fixed initialization of the first m-sequence (TS 36.211).
+_X1_INIT = 1
+#: Offset before sequence output is taken (Nc in the standard).
+_NC = 1600
+
+
+def gold_sequence(length: int, c_init: int) -> np.ndarray:
+    """Generate ``length`` bits of the LTE Gold sequence for seed ``c_init``.
+
+    Vectorized generation: both constituent m-sequences are produced with
+    the linear recurrences
+
+    ``x1(n+31) = x1(n+3) + x1(n)``
+    ``x2(n+31) = x2(n+3) + x2(n+2) + x2(n+1) + x2(n)``  (mod 2)
+
+    and combined as ``c(n) = x1(n + Nc) + x2(n + Nc)``.
+    """
+    if length < 0:
+        raise ValueError("length must be >= 0")
+    if not 0 <= c_init < (1 << 31):
+        raise ValueError("c_init must fit in 31 bits")
+    total = length + _NC + 31
+    x1 = np.zeros(total, dtype=np.uint8)
+    x2 = np.zeros(total, dtype=np.uint8)
+    for i in range(31):
+        x1[i] = (_X1_INIT >> i) & 1
+        x2[i] = (c_init >> i) & 1
+    for n in range(total - 31):
+        x1[n + 31] = x1[n + 3] ^ x1[n]
+        x2[n + 31] = x2[n + 3] ^ x2[n + 2] ^ x2[n + 1] ^ x2[n]
+    return (x1[_NC : _NC + length] ^ x2[_NC : _NC + length]).astype(np.uint8)
+
+
+def pusch_c_init(rnti: int, subframe: int, cell_id: int) -> int:
+    """Scrambler seed for PUSCH (TS 36.211 sec. 5.3.1).
+
+    ``c_init = rnti * 2^14 + floor(ns/2) * 2^9 + cell_id`` with ``ns`` the
+    slot number; we pass the subframe and use its first slot.
+    """
+    if not 0 <= cell_id < 504:
+        raise ValueError("cell_id must be in [0, 503]")
+    ns = (subframe % 10) * 2
+    return ((rnti << 14) + ((ns // 2) << 9) + cell_id) & ((1 << 31) - 1)
+
+
+def scramble(bits: np.ndarray, c_init: int) -> np.ndarray:
+    """XOR ``bits`` with the Gold sequence; involutive (self-inverse)."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    seq = gold_sequence(bits.size, c_init)
+    return bits ^ seq
+
+
+def descramble_llrs(llrs: np.ndarray, c_init: int) -> np.ndarray:
+    """Descramble soft values: flip LLR sign where the sequence bit is 1."""
+    llrs = np.asarray(llrs, dtype=np.float64)
+    seq = gold_sequence(llrs.size, c_init)
+    signs = 1.0 - 2.0 * seq.astype(np.float64)
+    return llrs * signs

@@ -1,0 +1,48 @@
+"""C-RAN schedulers: partitioned, global (FIFO/EDF), and RT-OPEX.
+
+All three schedulers consume the same precomputed workload (so
+comparisons are paired) and produce :class:`~repro.sched.base.SchedulerResult`
+records.  The module map follows the paper's sec. 3:
+
+* :mod:`repro.sched.partitioned` — offline partitioned schedule,
+  ``ceil(Tmax)`` cores per basestation, round-robin subframe placement;
+* :mod:`repro.sched.global_` — shared ring-buffer queue with an EDF
+  dispatcher and per-core cache-affinity penalties;
+* :mod:`repro.sched.migration` — Algorithm 1, the greedy migration
+  planner (pure function, property-tested);
+* :mod:`repro.sched.rtopex` — RT-OPEX: partitioned base schedule plus
+  opportunistic migration of FFT/decode subtasks into idle-core gaps,
+  with the recovery path for preempted migrations;
+* :mod:`repro.sched.runner` — workload construction and the
+  one-call-per-experiment entry points.
+"""
+
+from repro.sched.base import (
+    CRanConfig,
+    SchedulerResult,
+    SubframeJob,
+    SubframeRecord,
+)
+from repro.sched.cloudiq import CloudIqScheduler
+from repro.sched.global_ import GlobalScheduler
+from repro.sched.migration import MigrationDecision, plan_migration
+from repro.sched.partitioned import PartitionedScheduler
+from repro.sched.pran import PranScheduler
+from repro.sched.rtopex import RtOpexScheduler
+from repro.sched.runner import build_workload, run_scheduler
+
+__all__ = [
+    "CRanConfig",
+    "SchedulerResult",
+    "SubframeJob",
+    "SubframeRecord",
+    "CloudIqScheduler",
+    "GlobalScheduler",
+    "MigrationDecision",
+    "plan_migration",
+    "PartitionedScheduler",
+    "PranScheduler",
+    "RtOpexScheduler",
+    "build_workload",
+    "run_scheduler",
+]

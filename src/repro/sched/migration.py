@@ -1,0 +1,178 @@
+"""Algorithm 1: the greedy migration planner of RT-OPEX.
+
+Given ``P`` equal-cost subtasks on the local core, a set of idle cores
+with known free-time budgets, and a per-subtask migration cost ``delta``,
+decide how many subtasks to offload to each idle core.  The three
+requirements of the paper (sec. 3.2.1 B):
+
+* **R1** — a core k can absorb at most ``limoff = floor(fck / (tp + delta))``
+  subtasks: each migrated subtask costs its execution time plus the
+  migration overhead, and the batch must fit the core's free window;
+* **R2** — after migrating, the subtasks kept locally must be at least
+  the largest batch already placed on any other core
+  (``S - noff >= maxoff``), so the local core never finishes before the
+  busiest helper in the ideal case;
+* **R3** — at most half of the remaining subtasks move to any single
+  core (``noff <= floor(S/2)``), since R2 does not yet count the batch
+  being placed on core k itself.
+
+Together these implement the paper's guarantee that "the performance of
+RT-OPEX must be equal to or strictly better than the case without use of
+migration": by the time the local core finishes its kept subtasks, every
+migrated batch has (in the ideal case) finished too.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class MigrationDecision:
+    """Output of Algorithm 1.
+
+    ``assignments`` pairs each considered core (by caller-provided id)
+    with the number of subtasks placed on it; cores given zero subtasks
+    are omitted.  ``local_subtasks`` is what the owning thread keeps.
+    """
+
+    assignments: Tuple[Tuple[int, int], ...]
+    local_subtasks: int
+
+    @property
+    def migrated_subtasks(self) -> int:
+        return sum(count for _, count in self.assignments)
+
+    @property
+    def num_targets(self) -> int:
+        return len(self.assignments)
+
+
+def plan_migration(
+    num_subtasks: int,
+    subtask_time_us: float,
+    migration_overhead_us: float,
+    free_times_us: Sequence[Tuple[int, float]],
+) -> MigrationDecision:
+    """Run Algorithm 1.
+
+    Parameters
+    ----------
+    num_subtasks:
+        P — parallelizable subtasks of the current task.
+    subtask_time_us:
+        tp — the planning-time (WCET-style) execution time per subtask.
+    migration_overhead_us:
+        delta — fixed per-subtask migration cost (paper: ~20 us).
+    free_times_us:
+        ``(core_id, fck)`` pairs for each idle core, in the order the
+        algorithm should consider them.  Callers typically sort by fck
+        descending so the biggest gaps absorb the most work.
+
+    Returns
+    -------
+    MigrationDecision
+        Never migrates more than ``P - 1`` subtasks in total and honours
+        R1-R3 per core (property-tested in ``tests/sched/test_migration``).
+    """
+    if num_subtasks < 0:
+        raise ValueError("num_subtasks must be >= 0")
+    if subtask_time_us <= 0:
+        # Zero-cost subtasks have nothing to gain from migration.
+        return MigrationDecision(assignments=(), local_subtasks=num_subtasks)
+    if migration_overhead_us < 0:
+        raise ValueError("migration_overhead_us must be >= 0")
+
+    remaining = num_subtasks  # S in the paper's notation
+    max_offloaded = 0  # maxoff
+    assignments: List[Tuple[int, int]] = []
+    per_subtask_cost = subtask_time_us + migration_overhead_us
+
+    for core_id, free_time in free_times_us:
+        if remaining <= 1:
+            break
+        if free_time <= 0:
+            continue
+        limoff = math.floor(free_time / per_subtask_cost)  # R1
+        noff = min(remaining - max_offloaded, limoff, remaining // 2)  # R2, R3
+        if noff <= 0:
+            continue
+        assignments.append((core_id, noff))
+        max_offloaded = max(noff, max_offloaded)
+        remaining -= noff
+
+    return MigrationDecision(assignments=tuple(assignments), local_subtasks=remaining)
+
+
+def plan_steal_half(
+    num_subtasks: int,
+    subtask_time_us: float,
+    migration_overhead_us: float,
+    free_times_us: Sequence[Tuple[int, float]],
+) -> MigrationDecision:
+    """Work-stealing variant: each idle core takes half of what is left.
+
+    The paper notes RT-OPEX "can be viewed as a specific application of
+    work-stealing [17]"; this planner is the classic steal-half policy
+    with only the R1 capacity bound — no R2 dominance coupling.  Used by
+    the ablation benchmarks to measure what Algorithm 1's extra guards
+    buy (and cost).
+    """
+    if num_subtasks < 0:
+        raise ValueError("num_subtasks must be >= 0")
+    if subtask_time_us <= 0:
+        return MigrationDecision(assignments=(), local_subtasks=num_subtasks)
+    if migration_overhead_us < 0:
+        raise ValueError("migration_overhead_us must be >= 0")
+    remaining = num_subtasks
+    assignments: List[Tuple[int, int]] = []
+    per_subtask_cost = subtask_time_us + migration_overhead_us
+    for core_id, free_time in free_times_us:
+        if remaining <= 1:
+            break
+        if free_time <= 0:
+            continue
+        limoff = math.floor(free_time / per_subtask_cost)
+        noff = min(limoff, remaining // 2)
+        if noff <= 0:
+            continue
+        assignments.append((core_id, noff))
+        remaining -= noff
+    return MigrationDecision(assignments=tuple(assignments), local_subtasks=remaining)
+
+
+def plan_migrate_all(
+    num_subtasks: int,
+    subtask_time_us: float,
+    migration_overhead_us: float,
+    free_times_us: Sequence[Tuple[int, float]],
+) -> MigrationDecision:
+    """Pathological baseline: ship everything the windows can hold.
+
+    Keeps only the single subtask Algorithm 1's loop condition always
+    retains.  Exists to demonstrate *why* R2/R3 matter: without them the
+    busiest helper can end up holding more work than the local core, so
+    the parallel makespan degenerates (see the ablation benchmarks).
+    """
+    if num_subtasks < 0:
+        raise ValueError("num_subtasks must be >= 0")
+    if subtask_time_us <= 0:
+        return MigrationDecision(assignments=(), local_subtasks=num_subtasks)
+    if migration_overhead_us < 0:
+        raise ValueError("migration_overhead_us must be >= 0")
+    remaining = num_subtasks
+    assignments: List[Tuple[int, int]] = []
+    per_subtask_cost = subtask_time_us + migration_overhead_us
+    for core_id, free_time in free_times_us:
+        if remaining <= 1:
+            break
+        if free_time <= 0:
+            continue
+        noff = min(math.floor(free_time / per_subtask_cost), remaining - 1)
+        if noff <= 0:
+            continue
+        assignments.append((core_id, noff))
+        remaining -= noff
+    return MigrationDecision(assignments=tuple(assignments), local_subtasks=remaining)

@@ -1,0 +1,161 @@
+"""Workload construction and scheduler entry points.
+
+``build_workload`` materializes the evaluation workload exactly as the
+paper does (sec. 4.2): per-basestation load traces drive the MCS of each
+subframe; the channel is AWGN at a fixed SNR; iteration counts come from
+the iteration model; the platform error E is drawn per subframe; the
+transport delay RTT/2 is fixed (emulating the various deployment
+scenarios after replacing the live WARP transport).
+
+``run_scheduler`` is the single switch the experiments use to compare
+policies over the *same* job list.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.lte.grid import GridConfig
+from repro.lte.subframe import Subframe
+from repro.sched.base import CRanConfig, SchedulerResult, SubframeJob
+from repro.sched.global_ import GlobalScheduler
+from repro.sched.partitioned import PartitionedScheduler
+from repro.sched.rtopex import RtOpexScheduler
+from repro.sim.rng import RngStreams
+from repro.timing.iterations import IterationModel
+from repro.timing.model import LinearTimingModel
+from repro.timing.platform import PlatformNoiseModel
+from repro.timing.tasks import build_subframe_work
+from repro.workload.mapping import GrantMapper
+from repro.workload.traces import CellularTraceGenerator
+
+
+def build_workload(
+    config: CRanConfig,
+    num_subframes: int,
+    seed: int = 2016,
+    loads: Optional[np.ndarray] = None,
+    timing_model: Optional[LinearTimingModel] = None,
+    iteration_model: Optional[IterationModel] = None,
+    noise_model: Optional[PlatformNoiseModel] = None,
+    mapper: Optional[GrantMapper] = None,
+    transport_jitter: Optional[np.ndarray] = None,
+) -> List[SubframeJob]:
+    """Materialize the per-subframe jobs for one experiment.
+
+    Parameters
+    ----------
+    loads:
+        Optional ``(num_basestations, num_subframes)`` normalized-load
+        array; generated from the default trace model when omitted.
+    transport_jitter:
+        Optional per-(bs, subframe) additive jitter on top of the fixed
+        ``config.transport_latency_us`` (e.g. drawn from the cloud
+        model); zero by default, matching the paper's fixed-RTT runs.
+    """
+    streams = RngStreams(seed)
+    timing = timing_model if timing_model is not None else LinearTimingModel()
+    iters = iteration_model if iteration_model is not None else IterationModel(
+        max_iterations=config.max_iterations
+    )
+    noise = noise_model if noise_model is not None else PlatformNoiseModel()
+    grants = mapper if mapper is not None else GrantMapper(num_antennas=config.num_antennas)
+
+    if loads is None:
+        generator = CellularTraceGenerator(seed=seed)
+        if generator.num_basestations < config.num_basestations:
+            raise ValueError(
+                "default trace model has fewer basestations than the config; pass loads="
+            )
+        loads = generator.generate(num_subframes)[: config.num_basestations]
+    loads = np.asarray(loads, dtype=np.float64)
+    if loads.shape != (config.num_basestations, num_subframes):
+        raise ValueError(
+            f"loads must be shaped {(config.num_basestations, num_subframes)}, got {loads.shape}"
+        )
+    if transport_jitter is not None:
+        transport_jitter = np.asarray(transport_jitter, dtype=np.float64)
+        if transport_jitter.shape != loads.shape:
+            raise ValueError("transport_jitter must match the loads shape")
+
+    grid = GridConfig(10.0)
+    iter_rng = streams.stream("iterations")
+    noise_rng = streams.stream("platform-noise")
+
+    jobs: List[SubframeJob] = []
+    for bs in range(config.num_basestations):
+        for j in range(num_subframes):
+            load = float(loads[bs, j])
+            grant = grants.grant_for_load(load)
+            draw = iters.draw_subframe(
+                grant.mcs, config.snr_db, iter_rng, num_blocks=grant.code_blocks
+            )
+            work = build_subframe_work(
+                timing,
+                grant,
+                draw.iterations,
+                max_iterations=config.max_iterations,
+                crc_pass=draw.crc_pass,
+            )
+            latency = config.transport_latency_us
+            if transport_jitter is not None:
+                latency += float(transport_jitter[bs, j])
+            subframe = Subframe(
+                bs_id=bs,
+                index=j,
+                grant=grant,
+                snr_db=config.snr_db,
+                transport_latency_us=latency,
+                grid=grid,
+            )
+            jobs.append(
+                SubframeJob(
+                    subframe=subframe,
+                    work=work,
+                    noise_us=noise.draw_one(noise_rng),
+                    load=load,
+                )
+            )
+    return jobs
+
+
+def run_scheduler(
+    name: str,
+    config: CRanConfig,
+    jobs: Sequence[SubframeJob],
+    seed: int = 2016,
+    **kwargs,
+) -> SchedulerResult:
+    """Run one scheduler over a prepared job list.
+
+    ``name`` is one of ``partitioned``, ``global`` (respects
+    ``config.num_cores``), or ``rt-opex``; extra keyword arguments are
+    forwarded to the scheduler constructor.
+    """
+    from repro.sched.cloudiq import CloudIqScheduler
+    from repro.sched.pran import PranScheduler
+
+    streams = RngStreams(seed)
+    if name == "partitioned":
+        return PartitionedScheduler(config, **kwargs).run(jobs)
+    if name == "global":
+        return GlobalScheduler(config, rng=streams.stream("global"), **kwargs).run(jobs)
+    if name in ("rt-opex", "rtopex"):
+        return RtOpexScheduler(config, rng=streams.stream("rtopex"), **kwargs).run(jobs)
+    if name == "pran":
+        return PranScheduler(config, rng=streams.stream("pran"), **kwargs).run(jobs)
+    if name == "cloudiq":
+        return CloudIqScheduler(config, **kwargs).run(jobs)
+    raise ValueError(f"unknown scheduler {name!r}")
+
+
+def compare_schedulers(
+    config: CRanConfig,
+    jobs: Sequence[SubframeJob],
+    names: Sequence[str] = ("partitioned", "global", "rt-opex"),
+    seed: int = 2016,
+) -> Dict[str, SchedulerResult]:
+    """Run several schedulers over identical jobs (paired comparison)."""
+    return {name: run_scheduler(name, config, jobs, seed=seed) for name in names}

@@ -1,0 +1,14 @@
+"""Deterministic discrete-event simulation engine.
+
+The reproduction's substitute for the paper's pthread-pinned cores: a
+microsecond-resolution virtual clock with a stable event queue.  All
+scheduler behaviour (arrivals, task starts/ends, migrations, deadline
+enforcement) is expressed as events; determinism comes from seeded RNG
+streams (:mod:`repro.sim.rng`) and a total event order (time, priority,
+sequence number).
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.rng import RngStreams
+
+__all__ = ["Event", "Simulator", "RngStreams"]

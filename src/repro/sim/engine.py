@@ -1,0 +1,94 @@
+"""Event queue and virtual clock.
+
+A deliberately small engine: events are ``(time, priority, seq)``-ordered
+callbacks.  Ties at the same timestamp are broken first by an explicit
+priority (so e.g. a core-release event can be guaranteed to run before a
+same-instant arrival) and then by insertion order, which makes runs fully
+deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback; comparison order defines execution order."""
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Minimal deterministic discrete-event simulator."""
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._seq = 0
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in microseconds."""
+        return self._now
+
+    def schedule(self, time: float, callback: Callable[[], None], priority: int = 0) -> Event:
+        """Schedule ``callback`` at absolute virtual ``time``.
+
+        Scheduling in the past is a logic error and raises immediately —
+        silently clamping would hide causality bugs in schedulers.
+        """
+        if time < self._now - 1e-9:
+            raise ValueError(f"cannot schedule at {time} before now={self._now}")
+        self._seq += 1
+        event = Event(time=max(time, self._now), priority=priority, seq=self._seq, callback=callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(self, delay: float, callback: Callable[[], None], priority: int = 0) -> Event:
+        """Schedule ``callback`` after ``delay`` microseconds."""
+        if delay < 0:
+            raise ValueError("delay must be >= 0")
+        return self.schedule(self._now + delay, callback, priority)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run events until the queue drains or virtual ``until`` passes.
+
+        Returns the final virtual time.  Re-entrant calls are rejected —
+        callbacks must schedule, not run, further work.
+        """
+        if self._running:
+            raise RuntimeError("Simulator.run is not re-entrant")
+        self._running = True
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if until is not None and event.time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.callback()
+            else:
+                if until is not None:
+                    self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return self._now
+
+    def pending(self) -> int:
+        """Number of live events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)

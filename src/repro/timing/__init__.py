@@ -1,0 +1,34 @@
+"""Execution-time models: Eq. (1), task graphs, platform noise, cache.
+
+The paper models uplink processing time as
+
+``Trxproc = w0 + w1*N + w2*K + w3*D*L + E``        (Eq. 1)
+
+with N antennas, K modulation order, D subcarrier load, L turbo
+iterations and E a platform error term.  This subpackage turns that model
+into concrete per-task / per-subtask durations that the discrete-event
+schedulers consume, plus the stochastic pieces: the iteration model
+(L vs SNR/MCS), kernel-noise model (E), and a cache-affinity penalty
+model for global scheduling.
+"""
+
+from repro.timing.cache import CacheAffinityModel, MigrationCostModel
+from repro.timing.iterations import IterationModel
+from repro.timing.model import LinearTimingModel, ModelCoefficients, fit_linear_model
+from repro.timing.platform import CyclictestEmulator, PlatformNoiseModel
+from repro.timing.tasks import SubframeWork, SubtaskSpec, TaskSpec, build_subframe_work
+
+__all__ = [
+    "CacheAffinityModel",
+    "MigrationCostModel",
+    "IterationModel",
+    "LinearTimingModel",
+    "ModelCoefficients",
+    "fit_linear_model",
+    "CyclictestEmulator",
+    "PlatformNoiseModel",
+    "SubframeWork",
+    "SubtaskSpec",
+    "TaskSpec",
+    "build_subframe_work",
+]

@@ -1,0 +1,108 @@
+"""Cache-affinity penalty model for multi-basestation scheduling.
+
+The paper attributes the global scheduler's surprising behaviour —
+slightly worse than partitioned, and *not* improving from 8 to 16 cores
+(Fig. 19) — to cache thrashing: "each core in global scheduling processes
+different basestations every few subframes, which leads to frequent
+flushing of its memory cache and adds to the processing times".  At 16
+cores, more than 10% of MCS-27 subframes took ~80 us longer.
+
+We model this as a per-core affinity: processing a subframe of a
+basestation the core has not touched recently costs an extra cold-cache
+penalty, while re-processing the same basestation is free.  The penalty
+magnitude is drawn per event so the processing-time distribution (not
+just the mean) thickens, matching the right-hand plot of Fig. 19.
+
+The same mechanism prices RT-OPEX's migration overhead delta: a migrated
+subtask always executes on a core whose cache holds another
+basestation's working set, which is why the paper measures a fixed
+~18-20 us per migrated task (Fig. 18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+
+@dataclass
+class CacheAffinityModel:
+    """Tracks per-core basestation affinity and prices cold starts.
+
+    Parameters
+    ----------
+    cold_penalty_low_us, cold_penalty_high_us:
+        Uniform range of the penalty when a core processes a basestation
+        other than the one it processed last.  The paper's Fig. 19
+        observation (~80 us extra for a noticeable fraction of
+        subframes) sits inside the default range.
+    decay_subframes:
+        After this many subframes of inactivity the affinity is lost even
+        for the same basestation (other kernel work evicts the lines).
+    """
+
+    cold_penalty_low_us: float = 40.0
+    cold_penalty_high_us: float = 110.0
+    decay_subframes: int = 3
+    _last_bs: Dict[int, int] = field(default_factory=dict)
+    _last_index: Dict[int, int] = field(default_factory=dict)
+
+    def penalty(
+        self,
+        core_id: int,
+        bs_id: int,
+        subframe_index: int,
+        rng: np.random.Generator,
+    ) -> float:
+        """Penalty (us) for ``core_id`` processing ``bs_id`` now; updates state."""
+        previous = self._last_bs.get(core_id)
+        previous_index = self._last_index.get(core_id)
+        self._last_bs[core_id] = bs_id
+        self._last_index[core_id] = subframe_index
+        if previous is None:
+            return self._draw(rng)
+        stale = (
+            previous_index is not None
+            and subframe_index - previous_index > self.decay_subframes
+        )
+        if previous != bs_id or stale:
+            return self._draw(rng)
+        return 0.0
+
+    def peek_is_warm(self, core_id: int, bs_id: int) -> bool:
+        """True when the core's cache currently holds ``bs_id``'s state."""
+        return self._last_bs.get(core_id) == bs_id
+
+    def reset(self) -> None:
+        self._last_bs.clear()
+        self._last_index.clear()
+
+    def _draw(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.cold_penalty_low_us, self.cold_penalty_high_us))
+
+
+@dataclass(frozen=True)
+class MigrationCostModel:
+    """Cost of migrating one subtask to another core (the delta of Alg. 1).
+
+    The paper measures the overhead as the time to fetch the global OAI
+    variables from shared memory: ~18 us for FFT and ~20 us for decode
+    subtasks, "fixed across the subtasks" (sec. 4.4 / Fig. 18).  We use a
+    fixed mean with small jitter; ablation benches sweep the mean.
+    """
+
+    mean_us: float = 20.0
+    jitter_us: float = 2.0
+
+    def planning_cost(self) -> float:
+        """Deterministic delta used inside Algorithm 1."""
+        return self.mean_us
+
+    def draw(self, rng: Optional[np.random.Generator] = None) -> float:
+        """Actual migration cost for one subtask."""
+        if rng is None or self.jitter_us <= 0:
+            return self.mean_us
+        low = max(0.0, self.mean_us - self.jitter_us)
+        return float(rng.uniform(low, self.mean_us + self.jitter_us))

@@ -1,0 +1,90 @@
+"""Platform-noise models: the error term E and the cyclictest benchmark.
+
+The paper traces the residual of Eq. (1) to the execution environment,
+not the model (Fig. 3(d)): the processing runs on a soft real-time kernel
+and is occasionally disrupted by interrupt handling and kernel tasks.
+Published order statistics we reproduce:
+
+* 99.9% of observations have |E| < 0.15 ms;
+* the worst observations reach ~0.7 ms;
+* roughly 1 in 1e5 measurements exceeds a few hundred microseconds;
+* the cyclictest + hackbench stress test shows a mean latency of 0.2 ms
+  with a tail above 0.4 ms.
+
+:class:`PlatformNoiseModel` is the additive E used by the scheduler
+simulation; :class:`CyclictestEmulator` reproduces the separate stress
+benchmark used to validate that E is platform- (not model-) driven.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PlatformNoiseModel:
+    """Additive execution-time noise E (us), a three-component mixture.
+
+    * a small always-present jitter (scheduler ticks, cache variance),
+      gamma-distributed with mean ``base_mean_us``;
+    * a moderate interrupt-handling spike (``spike_probability``,
+      uniform on [spike_low_us, spike_high_us]);
+    * a rare long kernel preemption (``tail_probability``, uniform on
+      [tail_low_us, tail_high_us]) — the 0.4-0.7 ms events.
+    """
+
+    base_mean_us: float = 18.0
+    base_shape: float = 2.0
+    spike_probability: float = 1.0e-3
+    spike_low_us: float = 100.0
+    spike_high_us: float = 350.0
+    tail_probability: float = 1.0e-5
+    tail_low_us: float = 400.0
+    tail_high_us: float = 700.0
+
+    def draw(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw ``size`` independent noise samples in microseconds."""
+        scale = self.base_mean_us / self.base_shape
+        noise = rng.gamma(self.base_shape, scale, size=size)
+        u = rng.random(size)
+        spikes = u < self.spike_probability
+        noise[spikes] += rng.uniform(self.spike_low_us, self.spike_high_us, spikes.sum())
+        tails = u > 1.0 - self.tail_probability
+        noise[tails] += rng.uniform(self.tail_low_us, self.tail_high_us, tails.sum())
+        return noise
+
+    def draw_one(self, rng: np.random.Generator) -> float:
+        return float(self.draw(rng, 1)[0])
+
+    def quantile(self, q: float, rng: np.random.Generator, samples: int = 200000) -> float:
+        """Monte-Carlo quantile, used by tests to check order statistics."""
+        return float(np.quantile(self.draw(rng, samples), q))
+
+
+@dataclass(frozen=True)
+class CyclictestEmulator:
+    """Emulates the cyclictest-under-hackbench latency benchmark.
+
+    cyclictest arms a timer and measures wake-up latency; under a
+    hackbench load on the low-latency (soft real-time) kernel the paper
+    measured a 0.2 ms mean with excursions above 0.4 ms.  Samples are the
+    sum of a lognormal body and the same rare-kernel-event tail as the
+    platform noise model.
+    """
+
+    mean_us: float = 200.0
+    sigma: float = 0.18
+    tail_probability: float = 1.0e-5
+    tail_low_us: float = 400.0
+    tail_high_us: float = 800.0
+
+    def run(self, rng: np.random.Generator, samples: int = 100000) -> np.ndarray:
+        """Return ``samples`` wake-up latencies in microseconds."""
+        mu = np.log(self.mean_us) - 0.5 * self.sigma**2
+        body = rng.lognormal(mu, self.sigma, size=samples)
+        u = rng.random(samples)
+        tails = u < self.tail_probability
+        body[tails] = rng.uniform(self.tail_low_us, self.tail_high_us, tails.sum())
+        return body

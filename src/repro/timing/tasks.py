@@ -1,0 +1,155 @@
+"""Concrete task graphs: Fig. 5's task/subtask breakdown with durations.
+
+A :class:`SubframeWork` is the schedulable representation of one
+subframe: an ordered list of tasks (FFT -> demod -> decode) with a
+precedence constraint between stages ("all of its subtasks must complete
+execution before moving on to the next stage", sec. 2.2).  Parallelizable
+tasks carry their subtasks explicitly; these are the units RT-OPEX
+migrates.
+
+Durations come from :class:`repro.timing.model.LinearTimingModel`; the
+per-code-block iteration counts are drawn by the caller (usually via
+:class:`repro.timing.iterations.IterationModel`) so that planning-time
+estimates and actual execution can differ — the source of RT-OPEX's
+recovery path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.lte.subframe import UplinkGrant
+from repro.timing.model import LinearTimingModel
+
+
+@dataclass(frozen=True)
+class SubtaskSpec:
+    """An independently executable unit of a parallelizable task."""
+
+    name: str
+    duration_us: float
+    #: Planning-time duration the scheduler assumes (WCET-style bound);
+    #: actual execution uses ``duration_us``.
+    planned_us: float
+
+    def __post_init__(self) -> None:
+        if self.duration_us < 0 or self.planned_us < 0:
+            raise ValueError("subtask durations must be non-negative")
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One stage of the processing chain.
+
+    ``serial_us`` is the non-parallelizable prologue executed by the
+    owning thread; ``subtasks`` may be empty for fully serial tasks.
+    """
+
+    name: str
+    serial_us: float
+    subtasks: tuple = ()
+    parallelizable: bool = False
+
+    @property
+    def serial_duration_us(self) -> float:
+        """Time to execute the whole task on a single core."""
+        return self.serial_us + sum(s.duration_us for s in self.subtasks)
+
+    @property
+    def num_subtasks(self) -> int:
+        return len(self.subtasks)
+
+
+@dataclass(frozen=True)
+class SubframeWork:
+    """All processing for one subframe, in execution order."""
+
+    tasks: tuple
+    iterations: tuple  # per-code-block turbo iterations actually needed
+    crc_pass: bool
+
+    @property
+    def total_serial_us(self) -> float:
+        """Single-core processing time — Eq. (1) without the error term."""
+        return sum(t.serial_duration_us for t in self.tasks)
+
+    @property
+    def decode_task(self) -> TaskSpec:
+        return self.tasks[-1]
+
+    def task(self, name: str) -> TaskSpec:
+        for t in self.tasks:
+            if t.name == name:
+                return t
+        raise KeyError(f"no task named {name!r}")
+
+
+def build_subframe_work(
+    model: LinearTimingModel,
+    grant: UplinkGrant,
+    iterations: Sequence[int],
+    max_iterations: int,
+    crc_pass: bool = True,
+    parallelize_fft: bool = True,
+    parallelize_decode: bool = True,
+) -> SubframeWork:
+    """Build the FFT -> demod -> decode task graph for one subframe.
+
+    ``iterations`` holds the drawn per-code-block iteration counts; the
+    planned duration of each decode subtask uses ``max_iterations`` (the
+    WCET bound the scheduler can rely on before decoding starts).
+    """
+    num_blocks = grant.code_blocks
+    if len(iterations) != num_blocks:
+        raise ValueError(
+            f"need {num_blocks} iteration counts for this grant, got {len(iterations)}"
+        )
+
+    fft_sub = model.fft_subtask_time()
+    fft_subtasks = tuple(
+        SubtaskSpec(name=f"fft/ant{a}", duration_us=fft_sub, planned_us=fft_sub)
+        for a in range(grant.num_antennas)
+    )
+    fft = TaskSpec(
+        name="fft",
+        serial_us=0.0,
+        subtasks=fft_subtasks if parallelize_fft else (),
+        parallelizable=parallelize_fft,
+    )
+    if not parallelize_fft:
+        fft = TaskSpec(name="fft", serial_us=model.fft_task_time(grant.num_antennas))
+
+    demod = TaskSpec(
+        name="demod",
+        serial_us=model.demod_task_time(grant.num_antennas, grant.modulation_order),
+    )
+
+    load = grant.subcarrier_load
+    planned_cb = model.decode_subtask_time(load, float(max_iterations), num_blocks)
+    decode_subtasks = tuple(
+        SubtaskSpec(
+            name=f"decode/cb{i}",
+            duration_us=model.decode_subtask_time(load, float(l), num_blocks),
+            planned_us=planned_cb,
+        )
+        for i, l in enumerate(iterations)
+    )
+    prologue = model.decode_prologue_time(grant.modulation_order)
+    decode = TaskSpec(
+        name="decode",
+        serial_us=prologue,
+        subtasks=decode_subtasks if parallelize_decode else (),
+        parallelizable=parallelize_decode,
+    )
+    if not parallelize_decode:
+        decode = TaskSpec(
+            name="decode",
+            serial_us=prologue + sum(s.duration_us for s in decode_subtasks),
+        )
+
+    return SubframeWork(
+        tasks=(fft, demod, decode),
+        iterations=tuple(int(l) for l in iterations),
+        crc_pass=crc_pass,
+    )

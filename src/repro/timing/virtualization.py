@@ -1,0 +1,95 @@
+"""Virtualization platform profiles (the paper's explicit future work).
+
+Sec. 4.2: "The evaluation with virtualization platforms such as
+containers is left to future work", and sec. 6 cites [23, 25, 33] for
+the observation that "a container approach to virtualization was shown
+to have a slightly better performance than a hypervisor approach".
+
+This module implements that study.  A platform profile scales the
+Eq. (1) coefficients (steady-state overhead: syscall/vmexit costs,
+nested paging, softirq routing) and swaps in a heavier platform-noise
+model (jitter from the hypervisor scheduler or cgroup throttling):
+
+* **native** — the paper's bare-metal low-latency kernel (identity);
+* **container** — a few percent steady overhead, slightly more jitter;
+* **vm** — noticeably higher steady overhead and a much heavier noise
+  tail from hypervisor preemptions.
+
+Numbers follow the qualitative ordering of the cited studies (container
+close to native, hypervisor clearly behind); they are knobs, not
+measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.timing.model import LinearTimingModel, ModelCoefficients
+from repro.timing.platform import PlatformNoiseModel
+
+
+@dataclass(frozen=True)
+class VirtualizationProfile:
+    """Execution-environment overhead profile."""
+
+    name: str
+    time_multiplier: float
+    noise: PlatformNoiseModel
+
+    def __post_init__(self) -> None:
+        if self.time_multiplier < 1.0:
+            raise ValueError("a platform cannot be faster than bare metal here")
+
+    def scaled_timing_model(self, base: LinearTimingModel = None) -> LinearTimingModel:
+        """The Eq. (1) model with every coefficient scaled."""
+        base = base if base is not None else LinearTimingModel()
+        c = base.coefficients
+        scaled = ModelCoefficients(
+            w0=c.w0 * self.time_multiplier,
+            w1=c.w1 * self.time_multiplier,
+            w2=c.w2 * self.time_multiplier,
+            w3=c.w3 * self.time_multiplier,
+        )
+        return LinearTimingModel(coefficients=scaled)
+
+
+def native_profile() -> VirtualizationProfile:
+    """Bare-metal low-latency kernel: the paper's platform."""
+    return VirtualizationProfile(
+        name="native", time_multiplier=1.0, noise=PlatformNoiseModel()
+    )
+
+
+def container_profile() -> VirtualizationProfile:
+    """Containers: near-native CPU, modestly more scheduling jitter."""
+    return VirtualizationProfile(
+        name="container",
+        time_multiplier=1.03,
+        noise=PlatformNoiseModel(
+            base_mean_us=24.0, spike_probability=2.0e-3, tail_probability=2.0e-5
+        ),
+    )
+
+
+def vm_profile() -> VirtualizationProfile:
+    """Hypervisor VM: steady vmexit overhead plus heavy jitter tails."""
+    return VirtualizationProfile(
+        name="vm",
+        time_multiplier=1.08,
+        noise=PlatformNoiseModel(
+            base_mean_us=35.0,
+            spike_probability=8.0e-3,
+            spike_low_us=150.0,
+            spike_high_us=500.0,
+            tail_probability=1.0e-4,
+            tail_low_us=500.0,
+            tail_high_us=1200.0,
+        ),
+    )
+
+
+def standard_profiles() -> Dict[str, VirtualizationProfile]:
+    """The three platforms the extension experiment compares."""
+    profiles = (native_profile(), container_profile(), vm_profile())
+    return {p.name: p for p in profiles}

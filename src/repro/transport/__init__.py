@@ -1,0 +1,33 @@
+"""Transport models: fronthaul fiber, cloud network, and WARP testbed.
+
+A subframe's end-to-end budget (Eq. (2)) is split between processing and
+transport: ``Trxproc + Tfronthaul + Tcloud <= 2 ms``, with the combined
+transport latency written RTT/2.  This subpackage models each leg:
+
+* :mod:`repro.transport.link` — serialization/propagation primitives and
+  CPRI line-rate calculations;
+* :mod:`repro.transport.fronthaul` — the fixed-delay, negligible-jitter
+  optical fronthaul (sec. 2.3);
+* :mod:`repro.transport.cloud` — the long-tailed cloud-network latency
+  measured in Fig. 6;
+* :mod:`repro.transport.warp` — the WARPv3-radio-to-GPP aggregate
+  transport of the paper's testbed (Fig. 7).
+"""
+
+from repro.transport.cloud import CloudNetworkModel
+from repro.transport.fronthaul import FronthaulModel
+from repro.transport.link import (
+    cpri_line_rate_gbps,
+    propagation_delay_us,
+    serialization_delay_us,
+)
+from repro.transport.warp import WarpTransportModel
+
+__all__ = [
+    "CloudNetworkModel",
+    "FronthaulModel",
+    "cpri_line_rate_gbps",
+    "propagation_delay_us",
+    "serialization_delay_us",
+    "WarpTransportModel",
+]

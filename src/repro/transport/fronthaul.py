@@ -1,0 +1,49 @@
+"""Fronthaul model: fixed fiber delay, negligible jitter (paper sec. 2.3).
+
+The fronthaul connects remote radios to the optical switch in the cloud
+over up to 20-40 km of fiber, giving a one-way propagation delay of
+0.1-0.2 ms plus (de)packetization.  The paper treats this leg as a fixed
+delay with almost no jitter, which is what this model provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.transport.link import propagation_delay_us, serialization_delay_us
+
+
+@dataclass(frozen=True)
+class FronthaulModel:
+    """Deterministic fronthaul latency for one subframe.
+
+    Parameters
+    ----------
+    distance_km:
+        Fiber length between radio and cloud (paper: up to 20-40 km).
+    switch_overhead_us:
+        Optical switching plus (de)packetization overhead.
+    rate_gbps:
+        Line rate used to serialize the IQ payload.
+    """
+
+    distance_km: float = 20.0
+    switch_overhead_us: float = 10.0
+    rate_gbps: float = 10.0
+
+    def one_way_latency_us(self, payload_bytes: int = 0) -> float:
+        """Propagation + switching + (optional) serialization delay."""
+        latency = propagation_delay_us(self.distance_km) + self.switch_overhead_us
+        if payload_bytes:
+            latency += serialization_delay_us(payload_bytes, self.rate_gbps)
+        return latency
+
+    def draw(self, rng: np.random.Generator, payload_bytes: int = 0) -> float:
+        """Sample interface for symmetry with the cloud model.
+
+        Jitter is negligible on the optical path; a sub-microsecond
+        uniform term keeps downstream distributions non-degenerate.
+        """
+        return self.one_way_latency_us(payload_bytes) + float(rng.uniform(0.0, 0.5))

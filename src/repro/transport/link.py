@@ -1,0 +1,63 @@
+"""Link-level primitives: serialization, propagation, CPRI line rates.
+
+Keeps the physics in one place so the fronthaul, cloud, and WARP models
+all agree on units (microseconds, bytes, Gbps).
+"""
+
+from __future__ import annotations
+
+from repro.constants import IQ_SAMPLE_BYTES, SAMPLE_RATE_MSPS
+
+#: Speed of light in optical fiber: ~5 us per kilometre (paper sec. 2.3).
+FIBER_DELAY_US_PER_KM = 5.0
+
+#: Ethernet framing overhead per packet: preamble + header + FCS + IPG.
+ETHERNET_OVERHEAD_BYTES = 38
+#: Conventional maximum Ethernet payload.
+DEFAULT_MTU_BYTES = 1500
+
+
+def serialization_delay_us(payload_bytes: int, rate_gbps: float, mtu_bytes: int = DEFAULT_MTU_BYTES) -> float:
+    """Time to push ``payload_bytes`` onto a link of ``rate_gbps``.
+
+    Includes per-packet Ethernet overhead for the number of MTU-sized
+    packets the payload fragments into.
+    """
+    if payload_bytes < 0:
+        raise ValueError("payload_bytes must be >= 0")
+    if rate_gbps <= 0:
+        raise ValueError("rate_gbps must be positive")
+    if payload_bytes == 0:
+        return 0.0
+    packets = -(-payload_bytes // mtu_bytes)
+    total_bytes = payload_bytes + packets * ETHERNET_OVERHEAD_BYTES
+    bits = total_bytes * 8
+    return bits / (rate_gbps * 1000.0)  # Gbps == kilobits/us
+
+
+def propagation_delay_us(distance_km: float) -> float:
+    """One-way fiber propagation delay."""
+    if distance_km < 0:
+        raise ValueError("distance_km must be >= 0")
+    return distance_km * FIBER_DELAY_US_PER_KM
+
+
+def cpri_line_rate_gbps(
+    bandwidth_mhz: float,
+    num_antennas: int,
+    bits_per_sample: int = 2 * 8 * IQ_SAMPLE_BYTES // 2,
+    overhead_factor: float = 16.0 / 15.0,
+) -> float:
+    """Required CPRI-style fronthaul rate for raw IQ transport.
+
+    ``rate = sample_rate * bits_per_sample * antennas * overhead`` with
+    the CPRI 16/15 control-word overhead.  For 10 MHz x 2 antennas at
+    16-bit I/Q this is ~1.05 Gbps — the reason C-RAN fronthaul needs
+    fiber, motivating the paper's Fig. 7 measurements.
+    """
+    if bandwidth_mhz not in SAMPLE_RATE_MSPS:
+        raise ValueError(f"unsupported bandwidth {bandwidth_mhz} MHz")
+    if num_antennas < 1:
+        raise ValueError("num_antennas must be >= 1")
+    msps = SAMPLE_RATE_MSPS[bandwidth_mhz]
+    return msps * bits_per_sample * num_antennas * overhead_factor / 1000.0

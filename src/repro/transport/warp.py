@@ -1,0 +1,68 @@
+"""WARP testbed transport model (paper Fig. 7).
+
+The paper's testbed connects 16 WARPv3 radios over 1 GbE ports into a
+1/10 GbE switch that aggregates into the GPP's 10 GbE port, using the
+CWARP transport library for reads/writes.  The one-way latency of a
+subframe is dominated by two serializations:
+
+* each radio pushing its subframe's IQ samples through its 1 GbE port
+  (these happen in parallel across radios), and
+* the switch pushing the *aggregate* of all radios through the single
+  10 GbE GPP port (serialized).
+
+This model reproduces the published anchor points: a maximum one-way
+latency of ~620 us for 5 MHz x 16 radios, ~0.9 ms for 10 MHz x 8
+antennas, and above 1 ms for 10 MHz x 16 — hence "at most 8 antennas at
+10 MHz can be supported" without queueing (sec. 2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import SUBFRAME_US
+from repro.lte.grid import GridConfig
+from repro.transport.link import serialization_delay_us
+
+
+@dataclass(frozen=True)
+class WarpTransportModel:
+    """Aggregate radio-to-GPP transport latency for the WARP testbed."""
+
+    radio_rate_gbps: float = 1.0
+    aggregate_rate_gbps: float = 10.0
+    read_overhead_us: float = 25.0  # CWARP read call + driver overhead
+    per_radio_overhead_us: float = 2.0  # per-stream socket/copy cost
+    jitter_us: float = 15.0
+
+    def one_way_latency_us(self, grid: GridConfig, num_antennas: int) -> float:
+        """Deterministic component of the one-way transport latency."""
+        if num_antennas < 1:
+            raise ValueError("num_antennas must be >= 1")
+        per_radio_bytes = grid.subframe_bytes(1)
+        radio_leg = serialization_delay_us(per_radio_bytes, self.radio_rate_gbps)
+        aggregate_leg = serialization_delay_us(
+            per_radio_bytes * num_antennas, self.aggregate_rate_gbps
+        )
+        overhead = self.read_overhead_us + self.per_radio_overhead_us * num_antennas
+        return radio_leg + aggregate_leg + overhead
+
+    def draw(self, grid: GridConfig, num_antennas: int, rng: np.random.Generator) -> float:
+        """Sample a one-way latency including switch/driver jitter."""
+        base = self.one_way_latency_us(grid, num_antennas)
+        return base + float(rng.uniform(0.0, self.jitter_us))
+
+    def max_supported_antennas(self, grid: GridConfig) -> int:
+        """Largest antenna count with latency under one subframe period.
+
+        If transport exceeds 1 ms, arrivals outpace delivery and queueing
+        delay grows without bound (the paper's 8-antenna limit at 10 MHz).
+        """
+        count = 0
+        for antennas in range(1, 129):
+            if self.one_way_latency_us(grid, antennas) >= SUBFRAME_US:
+                break
+            count = antennas
+        return count

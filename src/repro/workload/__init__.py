@@ -1,0 +1,26 @@
+"""Cellular workload traces and load-to-grant mapping.
+
+The paper drives its evaluation with basestation load traces measured
+off the air in a metropolitan area (USRPs logging Band-13/17 downlink
+and correlating against average signal energy every 1 ms).  Public
+traces being unavailable, this subpackage generates synthetic traces
+shaped to the published properties — large subframe-to-subframe
+variation (Fig. 1) and distinct per-basestation load CDFs (Fig. 14) —
+and emulates the energy-correlation measurement itself.
+"""
+
+from repro.workload.mapping import GrantMapper
+from repro.workload.traces import (
+    BasestationTraceConfig,
+    CellularTraceGenerator,
+    default_basestation_configs,
+    measure_load_from_energy,
+)
+
+__all__ = [
+    "GrantMapper",
+    "BasestationTraceConfig",
+    "CellularTraceGenerator",
+    "default_basestation_configs",
+    "measure_load_from_energy",
+]

@@ -1,0 +1,69 @@
+"""Trace persistence: save/load load traces as NPZ or CSV.
+
+The paper replays measured off-air traces; an adopter of this library
+will want to feed their own.  Traces are ``(num_basestations,
+num_subframes)`` float arrays in [0, 1] at 1 ms granularity.  NPZ is the
+compact native format; CSV (one column per basestation, header row) is
+the interchange format for traces exported from other tools.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+
+def _validate(traces: np.ndarray) -> np.ndarray:
+    traces = np.asarray(traces, dtype=np.float64)
+    if traces.ndim != 2:
+        raise ValueError("traces must be 2-D: (basestations, subframes)")
+    if traces.size == 0:
+        raise ValueError("traces must be non-empty")
+    if traces.min() < 0.0 or traces.max() > 1.0:
+        raise ValueError("normalized loads must lie in [0, 1]")
+    return traces
+
+
+def save_traces_npz(path: PathLike, traces: np.ndarray) -> None:
+    """Save traces to a compressed NPZ file."""
+    traces = _validate(traces)
+    np.savez_compressed(Path(path), traces=traces)
+
+
+def load_traces_npz(path: PathLike) -> np.ndarray:
+    """Load traces saved by :func:`save_traces_npz`."""
+    with np.load(Path(path)) as data:
+        if "traces" not in data:
+            raise ValueError(f"{path} does not contain a 'traces' array")
+        return _validate(data["traces"])
+
+
+def save_traces_csv(path: PathLike, traces: np.ndarray) -> None:
+    """Save traces as CSV: header ``bs0,bs1,...``, one row per subframe."""
+    traces = _validate(traces)
+    with open(Path(path), "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([f"bs{i}" for i in range(traces.shape[0])])
+        for row in traces.T:
+            writer.writerow([f"{v:.6f}" for v in row])
+
+
+def load_traces_csv(path: PathLike) -> np.ndarray:
+    """Load traces from the CSV layout of :func:`save_traces_csv`."""
+    with open(Path(path), newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if not header:
+            raise ValueError(f"{path} is empty")
+        rows = [[float(cell) for cell in row] for row in reader if row]
+    if not rows:
+        raise ValueError(f"{path} has no data rows")
+    widths = {len(row) for row in rows}
+    if widths != {len(header)}:
+        raise ValueError("ragged CSV: every row must match the header width")
+    return _validate(np.array(rows).T)

@@ -1,0 +1,47 @@
+"""Load-to-grant mapping: how a normalized load becomes an uplink grant.
+
+The paper "emulate[s] the BS uplink traffic load through MCS variations"
+with a single user at 100% PRB utilization (sec. 4.2): the MCS of each
+subframe is determined by the basestation load trace.  The natural
+mapping — which we use — makes the grant's nominal throughput
+proportional to load: load 1.0 maps to MCS 27 (31.7 Mbps at 50 PRBs),
+load 0 to MCS 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lte.mcs import max_mcs, mcs_for_throughput, throughput_mbps
+from repro.lte.subframe import UplinkGrant
+
+
+@dataclass(frozen=True)
+class GrantMapper:
+    """Maps normalized load samples onto single-user uplink grants."""
+
+    num_prbs: int = 50
+    num_antennas: int = 2
+    mcs_cap: int = 27
+
+    def mcs_for_load(self, load: float) -> int:
+        """MCS whose nominal throughput covers ``load`` of the peak rate."""
+        if not 0.0 <= load <= 1.0:
+            raise ValueError("load must be in [0, 1]")
+        peak = throughput_mbps(self.mcs_cap, self.num_prbs)
+        mcs = mcs_for_throughput(load * peak, self.num_prbs)
+        return min(mcs, self.mcs_cap, max_mcs())
+
+    def grant_for_load(self, load: float) -> UplinkGrant:
+        """The subframe grant emulating a given normalized load."""
+        return UplinkGrant(
+            mcs=self.mcs_for_load(load),
+            num_prbs=self.num_prbs,
+            num_antennas=self.num_antennas,
+        )
+
+    def grants_for_trace(self, loads: np.ndarray) -> list:
+        """Vector version: one grant per trace sample."""
+        return [self.grant_for_load(float(l)) for l in np.asarray(loads).ravel()]

@@ -1,0 +1,78 @@
+"""Tests for iteration-model calibration."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.calibration import fit_iteration_model, log_chain_iterations
+from repro.lte.grid import GridConfig
+from repro.timing.iterations import IterationModel
+
+
+def synthetic_samples(model, rng, samples_per_bin=400):
+    mcs_grid = [0, 5, 10, 13, 16, 20, 22, 24, 26, 27]
+    snr_grid = [5.0, 10.0, 15.0, 20.0, 25.0, 30.0]
+    mcs, snr, its = [], [], []
+    for m in mcs_grid:
+        for s in snr_grid:
+            draws = model.draw(m, s, rng, num_blocks=samples_per_bin)
+            mcs.extend([m] * samples_per_bin)
+            snr.extend([s] * samples_per_bin)
+            its.extend(draws)
+    return np.array(mcs), np.array(snr), np.array(its)
+
+
+class TestFit:
+    def test_recovers_known_model(self, rng):
+        truth = IterationModel(max_iterations=4)
+        mcs, snr, its = synthetic_samples(truth, rng)
+        result = fit_iteration_model(mcs, snr, its)
+        assert result.rmse < 0.25
+        # The fitted mean curve must track the truth across the grid.
+        for m in (5, 16, 27):
+            for s in (10.0, 30.0):
+                assert result.model.mean_iterations(m, s) == pytest.approx(
+                    truth.mean_iterations(m, s), abs=0.5
+                )
+
+    def test_detects_shifted_platform(self, rng):
+        # A "slower decoder" (threshold shifted +4 dB) must be fitted
+        # with a visibly larger offset than the default.
+        shifted = IterationModel(max_iterations=4, effort_offset=-6.0)
+        mcs, snr, its = synthetic_samples(shifted, rng)
+        result = fit_iteration_model(mcs, snr, its)
+        default = IterationModel(max_iterations=4)
+        assert result.model.effort_offset > default.effort_offset + 1.5
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            fit_iteration_model(np.array([1]), np.array([1.0, 2.0]), np.array([1]))
+        with pytest.raises(ValueError):
+            fit_iteration_model(np.array([1]), np.array([1.0]), np.array([9]))
+        # Too few bins to identify 4 parameters.
+        with pytest.raises(ValueError):
+            fit_iteration_model(
+                np.array([1, 1, 1]), np.array([10.0, 10.0, 10.0]), np.array([2, 2, 2])
+            )
+
+    def test_fitted_model_is_valid_model(self, rng):
+        truth = IterationModel(max_iterations=4)
+        mcs, snr, its = synthetic_samples(truth, rng, samples_per_bin=100)
+        fitted = fit_iteration_model(mcs, snr, its).model
+        draws = fitted.draw(20, 25.0, rng, num_blocks=50)
+        assert all(1 <= l <= 4 for l in draws)
+
+
+class TestChainLogging:
+    def test_log_and_fit_from_real_decoder(self, rng):
+        # Close the loop end-to-end on a tiny grid: the real max-log-MAP
+        # decoder's iteration counts are fittable and show the right
+        # trend (more iterations at lower SNR).
+        grid = GridConfig(1.4)
+        mcs, snr, its = log_chain_iterations(
+            grid, mcs_values=(4, 10), snr_values=(6.0, 14.0, 25.0),
+            trials_per_point=3, rng=rng,
+        )
+        assert its.min() >= 1
+        low_snr_mean = its[snr == 6.0].mean()
+        high_snr_mean = its[snr == 25.0].mean()
+        assert low_snr_mean >= high_snr_mean

@@ -1,0 +1,78 @@
+"""Tests for the ASCII report renderer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import Table, format_series, render_cdf, render_histogram
+
+
+class TestTable:
+    def test_renders_headers_and_rows(self):
+        table = Table(["a", "b"])
+        table.add_row([1, 2.5])
+        text = table.render()
+        assert "a" in text and "b" in text
+        assert "2.5" in text
+
+    def test_title(self):
+        table = Table(["x"], title="My Table")
+        table.add_row([1])
+        assert table.render().splitlines()[0] == "My Table"
+
+    def test_column_count_enforced(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_small_floats_scientific(self):
+        table = Table(["v"])
+        table.add_row([1.6e-4])
+        assert "1.60e-04" in table.render()
+
+    def test_nan_rendered_as_dash(self):
+        table = Table(["v"])
+        table.add_row([float("nan")])
+        assert "-" in table.render().splitlines()[-1]
+
+    def test_zero(self):
+        table = Table(["v"])
+        table.add_row([0.0])
+        assert table.rows[0][0] == "0"
+
+    def test_str_equals_render(self):
+        table = Table(["v"])
+        table.add_row([3])
+        assert str(table) == table.render()
+
+    def test_alignment_uniform_width(self):
+        table = Table(["name", "value"])
+        table.add_row(["short", 1])
+        table.add_row(["a-much-longer-name", 2])
+        lines = table.render().splitlines()
+        assert len({len(l) for l in lines[:1] + lines[2:]}) == 1
+
+
+class TestSeriesAndCdf:
+    def test_format_series(self):
+        text = format_series([1, 2], [0.1, 0.2], "x", "y")
+        assert "0.1" in text and "0.2" in text
+
+    def test_render_cdf_reaches_one(self):
+        text = render_cdf(np.arange(100, dtype=float), "latency")
+        assert text.splitlines()[-1].strip().endswith("1")
+
+    def test_render_cdf_empty(self):
+        assert "no samples" in render_cdf(np.array([]), "x")
+
+    def test_render_cdf_custom_points(self):
+        text = render_cdf(np.array([1.0, 2.0]), "v", points=np.array([1.5]))
+        assert "0.5" in text
+
+    def test_histogram_bar_lengths(self):
+        samples = np.concatenate([np.zeros(90), np.ones(10)])
+        text = render_histogram(samples, "h", bins=2)
+        lines = text.splitlines()[1:]
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_histogram_empty(self):
+        assert "no samples" in render_histogram(np.array([]), "h")

@@ -1,0 +1,61 @@
+"""Tests for scheduler-result CSV export/import."""
+
+import math
+
+import pytest
+
+from repro.analysis.results_io import load_result_csv, save_result_csv
+from repro.sched import run_scheduler
+
+
+@pytest.fixture(scope="module")
+def result(small_config, small_workload):
+    return run_scheduler("rt-opex", small_config, small_workload)
+
+
+class TestResultsIo:
+    def test_round_trip_counts(self, result, tmp_path):
+        path = tmp_path / "run.csv"
+        save_result_csv(path, result)
+        loaded = load_result_csv(path)
+        assert len(loaded.records) == len(result.records)
+        assert loaded.scheduler_name == result.scheduler_name
+
+    def test_round_trip_metrics(self, result, tmp_path):
+        path = tmp_path / "run.csv"
+        save_result_csv(path, result)
+        loaded = load_result_csv(path)
+        assert loaded.miss_rate() == pytest.approx(result.miss_rate())
+        assert loaded.ack_rate() == pytest.approx(result.ack_rate())
+        assert loaded.miss_rate_by_mcs() == result.miss_rate_by_mcs()
+
+    def test_round_trip_fields(self, result, tmp_path):
+        path = tmp_path / "run.csv"
+        save_result_csv(path, result)
+        loaded = load_result_csv(path)
+        for original, reloaded in zip(result.records, loaded.records):
+            assert (original.bs_id, original.index) == (reloaded.bs_id, reloaded.index)
+            assert original.iterations == reloaded.iterations
+            assert original.missed == reloaded.missed
+            if math.isnan(original.gap_us):
+                assert math.isnan(reloaded.gap_us)
+            else:
+                assert original.gap_us == pytest.approx(reloaded.gap_us, abs=1e-3)
+
+    def test_config_rtt_preserved(self, result, tmp_path):
+        path = tmp_path / "run.csv"
+        save_result_csv(path, result)
+        loaded = load_result_csv(path)
+        assert loaded.config.transport_latency_us == result.config.transport_latency_us
+
+    def test_rejects_foreign_csv(self, tmp_path):
+        path = tmp_path / "other.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError):
+            load_result_csv(path)
+
+    def test_rejects_wrong_columns(self, tmp_path):
+        path = tmp_path / "cols.csv"
+        path.write_text("# scheduler,x,rtt_us,500.0\na,b\n")
+        with pytest.raises(ValueError):
+            load_result_csv(path)

@@ -1,0 +1,110 @@
+"""Tests for analysis statistics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import (
+    binomial_confidence_interval,
+    empirical_cdf,
+    geometric_mean_ratio,
+    summarize,
+    tail_fraction,
+)
+
+
+class TestCdf:
+    def test_basic(self):
+        samples = np.array([1.0, 2.0, 3.0, 4.0])
+        cdf = empirical_cdf(samples, np.array([0.5, 2.0, 5.0]))
+        assert list(cdf) == [0.0, 0.5, 1.0]
+
+    def test_empty_samples(self):
+        cdf = empirical_cdf(np.array([]), np.array([1.0]))
+        assert list(cdf) == [0.0]
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=50))
+    def test_monotone_and_bounded(self, values):
+        samples = np.array(values)
+        points = np.linspace(-150, 150, 20)
+        cdf = empirical_cdf(samples, points)
+        assert (np.diff(cdf) >= 0).all()
+        assert cdf[0] >= 0.0 and cdf[-1] == 1.0
+
+
+class TestTailFraction:
+    def test_basic(self):
+        assert tail_fraction(np.array([1, 2, 3, 4]), 2.5) == 0.5
+
+    def test_empty(self):
+        assert tail_fraction(np.array([]), 1.0) == 0.0
+
+    def test_strict_inequality(self):
+        assert tail_fraction(np.array([1.0, 1.0]), 1.0) == 0.0
+
+
+class TestSummarize:
+    def test_keys_and_order(self):
+        s = summarize(np.arange(1000, dtype=float))
+        assert s["p50"] <= s["p90"] <= s["p99"] <= s["p999"] <= s["max"]
+
+    def test_empty_gives_nans(self):
+        s = summarize(np.array([]))
+        assert all(math.isnan(v) for v in s.values())
+
+    def test_constant(self):
+        s = summarize(np.full(10, 5.0))
+        assert s["mean"] == 5.0
+        assert s["max"] == 5.0
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        lo, hi = binomial_confidence_interval(5, 100)
+        assert lo < 0.05 < hi
+
+    def test_zero_successes(self):
+        lo, hi = binomial_confidence_interval(0, 1000)
+        assert lo == 0.0
+        assert hi < 0.01
+
+    def test_all_successes(self):
+        lo, hi = binomial_confidence_interval(1000, 1000)
+        assert hi == 1.0
+        assert lo > 0.99
+
+    def test_bounds_in_unit_interval(self):
+        for k, n in ((0, 10), (1, 10), (10, 10), (3, 7)):
+            lo, hi = binomial_confidence_interval(k, n)
+            assert 0.0 <= lo <= hi <= 1.0
+
+    def test_narrower_with_more_trials(self):
+        lo1, hi1 = binomial_confidence_interval(10, 100)
+        lo2, hi2 = binomial_confidence_interval(100, 1000)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            binomial_confidence_interval(1, 0)
+        with pytest.raises(ValueError):
+            binomial_confidence_interval(5, 4)
+
+
+class TestGeometricMeanRatio:
+    def test_identity(self):
+        ones = np.ones(5)
+        assert geometric_mean_ratio(ones, ones) == pytest.approx(1.0)
+
+    def test_constant_factor(self):
+        a = np.array([2.0, 4.0, 8.0])
+        assert geometric_mean_ratio(3 * a, a) == pytest.approx(3.0)
+
+    def test_ignores_zero_denominators(self):
+        num = np.array([2.0, 10.0])
+        den = np.array([1.0, 0.0])
+        assert geometric_mean_ratio(num, den) == pytest.approx(2.0)
+
+    def test_all_invalid_gives_nan(self):
+        assert math.isnan(geometric_mean_ratio(np.zeros(3), np.zeros(3)))

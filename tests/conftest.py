@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.lte.grid import GridConfig
+from repro.sched import CRanConfig, build_workload
+from repro.timing.model import LinearTimingModel
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG for tests that draw random data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def grid_10mhz():
+    return GridConfig(10.0)
+
+
+@pytest.fixture
+def grid_small():
+    """1.4 MHz grid: 6 PRBs — keeps functional-chain tests fast."""
+    return GridConfig(1.4)
+
+
+@pytest.fixture
+def timing_model():
+    return LinearTimingModel()
+
+
+@pytest.fixture(scope="session")
+def small_config():
+    return CRanConfig(transport_latency_us=500.0)
+
+
+@pytest.fixture(scope="session")
+def small_workload(small_config):
+    """A modest paired workload reused by the scheduler tests."""
+    return build_workload(small_config, 600, seed=99)

@@ -1,0 +1,105 @@
+"""Shape tests for the extension experiments (table2, pooling, HARQ, virt)."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+SCALE = 0.02
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return run_experiment("table2", scale=SCALE, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def pooling():
+    return run_experiment("ext-pooling", scale=SCALE, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def harq():
+    return run_experiment("ext-harq", scale=SCALE, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def virt():
+    return run_experiment("ext-virt", scale=SCALE, seed=SEED)
+
+
+class TestTable2:
+    def test_all_five_schedulers_present(self, table2):
+        assert set(table2.data) == {"pran", "cloudiq", "partitioned", "global", "rt-opex"}
+
+    def test_rtopex_wins(self, table2):
+        best = min(table2.data, key=lambda n: table2.data[n]["miss_rate"])
+        assert best == "rt-opex"
+
+    def test_cloudiq_most_conservative(self, table2):
+        worst = max(table2.data, key=lambda n: table2.data[n]["miss_rate"])
+        assert worst == "cloudiq"
+
+    def test_qualitative_rows_render(self, table2):
+        assert "Fixed/Dynamic" in table2.text
+        assert "Subtask" in table2.text
+
+
+class TestPooling:
+    def test_savings_positive_everywhere(self, pooling):
+        for row in pooling.data["rows"]:
+            assert row["saving"] > 0.0
+
+    def test_pooled_leq_peak(self, pooling):
+        for row in pooling.data["rows"]:
+            assert row["pooled"] <= row["peak"]
+
+    def test_larger_fleet_pools_at_least_as_well(self, pooling):
+        rows = {(r["bs"], r["quantile"]): r["saving"] for r in pooling.data["rows"]}
+        assert rows[(16, 0.999)] >= rows[(4, 0.999)] - 0.05
+
+
+class TestHarq:
+    def test_rtopex_best_goodput(self, harq):
+        goodputs = {n: d["goodput"] for n, d in harq.data.items()}
+        assert goodputs["rt-opex"] >= max(goodputs.values()) - 1e-12
+
+    def test_retx_tracks_miss_rate(self, harq):
+        for d in harq.data.values():
+            assert d["retx_rate"] >= d["miss_rate"] * 0.5
+
+    def test_goodput_bounded(self, harq):
+        for d in harq.data.values():
+            assert 0.0 <= d["goodput"] <= 1.0
+
+
+class TestVirtualization:
+    def test_platform_ordering(self, virt):
+        # VM worse than native for every scheduler.
+        for sched in ("partitioned", "global", "rt-opex"):
+            assert virt.data["vm"][sched] >= virt.data["native"][sched]
+
+    def test_rtopex_advantage_survives_virtualization(self, virt):
+        for platform in ("native", "container", "vm"):
+            assert virt.data[platform]["rt-opex"] <= virt.data[platform]["partitioned"]
+
+
+@pytest.fixture(scope="module")
+def multiuser():
+    return run_experiment("ext-multiuser", scale=SCALE, seed=SEED)
+
+
+class TestMultiUser:
+    def test_both_workloads_present(self, multiuser):
+        assert set(multiuser.data) == {"single-user", "multi-user"}
+
+    def test_rtopex_still_ahead_in_both(self, multiuser):
+        for label in ("single-user", "multi-user"):
+            assert multiuser.data[label]["rt-opex"] <= multiuser.data[label]["partitioned"]
+
+    def test_multiuser_not_worse_for_rtopex(self, multiuser):
+        # The paper's conservatism argument: finer granularity should
+        # help (or at least not hurt) RT-OPEX.
+        single = multiuser.data["single-user"]["rt-opex"]
+        multi = multiuser.data["multi-user"]["rt-opex"]
+        assert multi <= single + 2e-3

@@ -1,0 +1,22 @@
+"""Shared test helpers: hand-built subframe jobs with known durations."""
+
+from repro.lte.grid import GridConfig
+from repro.lte.subframe import Subframe, UplinkGrant
+from repro.sched.base import SubframeJob
+from repro.timing.model import LinearTimingModel
+from repro.timing.tasks import build_subframe_work
+
+
+def make_job(bs, index, mcs, iters, rtt=500.0, noise=0.0, antennas=2):
+    """A SubframeJob with explicit per-code-block iteration counts.
+
+    ``iters`` is cycled/truncated to the grant's code-block count, so
+    ``make_job(0, 0, 27, [4])`` gives six blocks at four iterations.
+    """
+    grant = UplinkGrant(mcs=mcs, num_prbs=50, num_antennas=antennas)
+    iters = (list(iters) * 8)[: grant.code_blocks]
+    work = build_subframe_work(LinearTimingModel(), grant, iters, max_iterations=4)
+    sf = Subframe(
+        bs_id=bs, index=index, grant=grant, transport_latency_us=rtt, grid=GridConfig(10.0)
+    )
+    return SubframeJob(subframe=sf, work=work, noise_us=noise, load=mcs / 27.0)

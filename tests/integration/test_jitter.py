@@ -1,0 +1,57 @@
+"""Integration: stochastic transport jitter through the full pipeline.
+
+The paper's fixed-RTT runs replace the live transport; this checks the
+stochastic path too — per-subframe cloud latencies drawn from the Fig. 6
+model feed the workload builder, and all schedulers stay correct when
+arrivals are no longer exactly periodic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sched import CRanConfig, build_workload, run_scheduler
+from repro.transport.cloud import CloudNetworkModel
+
+
+@pytest.fixture(scope="module")
+def jittered():
+    cfg = CRanConfig(transport_latency_us=400.0)
+    rng = np.random.default_rng(5)
+    cloud = CloudNetworkModel(rate_gbps=10.0)
+    # Jitter = cloud latency beyond its mean, per (bs, subframe).
+    jitter = cloud.draw(rng, size=4 * 400).reshape(4, 400) - cloud.mean_us
+    jitter = np.maximum(jitter, -cfg.transport_latency_us)
+    jobs = build_workload(cfg, 400, seed=5, transport_jitter=jitter)
+    return cfg, jobs
+
+
+class TestJitteredTransport:
+    def test_arrivals_are_jittered(self, jittered):
+        _, jobs = jittered
+        offsets = {round(j.arrival_us - j.subframe.index * 1000.0, 3) for j in jobs}
+        assert len(offsets) > 100  # genuinely per-subframe latencies
+
+    @pytest.mark.parametrize("name", ["partitioned", "global", "rt-opex", "pran"])
+    def test_schedulers_stay_sound_under_jitter(self, jittered, name):
+        cfg, jobs = jittered
+        run_cfg = cfg if name != "global" else CRanConfig(
+            transport_latency_us=400.0, num_cores=8
+        )
+        result = run_scheduler(name, run_cfg, jobs)
+        assert len(result.records) == len(jobs)
+        for r in result.records:
+            if not np.isnan(r.finish_us):
+                assert r.finish_us <= r.deadline_us + 1e-6
+
+    def test_budget_shrinks_with_latency(self, jittered):
+        _, jobs = jittered
+        for job in jobs[:100]:
+            assert job.subframe.processing_budget_us == pytest.approx(
+                2000.0 - job.subframe.transport_latency_us
+            )
+
+    def test_rtopex_still_ahead_under_jitter(self, jittered):
+        cfg, jobs = jittered
+        part = run_scheduler("partitioned", cfg, jobs)
+        opex = run_scheduler("rt-opex", cfg, jobs)
+        assert opex.miss_count() <= part.miss_count()

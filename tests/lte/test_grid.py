@@ -1,0 +1,66 @@
+"""Tests for the resource-grid geometry."""
+
+import pytest
+
+from repro.lte.grid import GridConfig
+
+
+class TestGridConfig:
+    def test_10mhz_has_50_prbs(self):
+        assert GridConfig(10.0).num_prbs == 50
+
+    def test_10mhz_resource_elements_match_paper(self):
+        # The paper quotes 8400 REs for a 10 MHz subframe.
+        assert GridConfig(10.0).resource_elements == 8400
+
+    def test_10mhz_samples_per_subframe(self):
+        # 15.36 Msps x 1 ms = 15360 complex samples (paper sec. 4.2).
+        assert GridConfig(10.0).samples_per_subframe == 15360
+
+    def test_all_standard_bandwidths_construct(self):
+        for bw in (1.4, 3.0, 5.0, 10.0, 15.0, 20.0):
+            grid = GridConfig(bw)
+            assert grid.num_prbs > 0
+            assert grid.fft_size > grid.num_subcarriers
+
+    def test_unsupported_bandwidth_rejected(self):
+        with pytest.raises(ValueError, match="unsupported"):
+            GridConfig(7.0)
+
+    def test_subcarriers_are_12_per_prb(self):
+        grid = GridConfig(5.0)
+        assert grid.num_subcarriers == grid.num_prbs * 12
+
+    def test_resource_elements_for_partial_allocation(self):
+        grid = GridConfig(10.0)
+        assert grid.resource_elements_for(25) == 25 * 168
+        assert grid.resource_elements_for(grid.num_prbs) == grid.resource_elements
+
+    def test_resource_elements_for_rejects_out_of_range(self):
+        grid = GridConfig(10.0)
+        with pytest.raises(ValueError):
+            grid.resource_elements_for(0)
+        with pytest.raises(ValueError):
+            grid.resource_elements_for(51)
+
+    def test_subframe_bytes_scales_with_antennas(self):
+        grid = GridConfig(10.0)
+        one = grid.subframe_bytes(1)
+        assert one == 15360 * 4
+        assert grid.subframe_bytes(4) == 4 * one
+
+    def test_subframe_bytes_rejects_zero_antennas(self):
+        with pytest.raises(ValueError):
+            GridConfig(10.0).subframe_bytes(0)
+
+    def test_samples_per_symbol_partition(self):
+        grid = GridConfig(10.0)
+        assert grid.samples_per_symbol * 14 <= grid.samples_per_subframe
+
+    def test_frozen(self):
+        grid = GridConfig(10.0)
+        with pytest.raises(Exception):
+            grid.bandwidth_mhz = 5.0
+
+    def test_sample_rate_scales_with_bandwidth(self):
+        assert GridConfig(20.0).sample_rate_msps == 2 * GridConfig(10.0).sample_rate_msps

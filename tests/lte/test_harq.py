@@ -1,0 +1,89 @@
+"""Tests for HARQ retransmission accounting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.lte.harq import HarqOutcome, simulate_harq
+from repro.sched import CRanConfig, SchedulerResult
+from repro.sched.base import SubframeRecord
+
+
+def make_result(outcomes):
+    """Build a SchedulerResult from (mcs, acked) tuples."""
+    records = []
+    for i, (mcs, acked) in enumerate(outcomes):
+        records.append(
+            SubframeRecord(
+                bs_id=0,
+                index=i,
+                mcs=mcs,
+                load=0.5,
+                arrival_us=500.0,
+                deadline_us=2000.0,
+                start_us=500.0,
+                finish_us=1500.0,
+                missed=not acked,
+                crc_pass=True,
+            )
+        )
+    return SchedulerResult("test", CRanConfig(), records)
+
+
+class TestHarq:
+    def test_all_acked_first_attempt(self):
+        result = make_result([(10, True)] * 20)
+        outcome = simulate_harq(result)
+        assert outcome.first_attempt_acks == 20
+        assert outcome.retransmissions == 0
+        assert outcome.residual_bler == 0.0
+        assert outcome.goodput_fraction == 1.0
+        assert outcome.mean_delivery_delay_ms == pytest.approx(1.0)
+
+    def test_missed_subframes_retransmit(self):
+        result = make_result([(10, False)] * 20)
+        # No further misses on retries (empty miss map) and a high SNR:
+        # every block is recovered on the second attempt.
+        outcome = simulate_harq(result, snr_db=30.0, miss_rate_by_mcs={10: 0.0})
+        assert outcome.retransmissions == 20
+        assert outcome.residual_bler == 0.0
+        assert outcome.mean_delivery_delay_ms == pytest.approx(9.0)  # 1 + 8 ms
+
+    def test_persistent_misses_become_residual_loss(self):
+        result = make_result([(27, False)] * 50)
+        outcome = simulate_harq(
+            result, snr_db=30.0, miss_rate_by_mcs={27: 1.0}  # node stays overloaded
+        )
+        assert outcome.residual_bler == 1.0
+        assert outcome.goodput_fraction == 0.0
+        assert math.isnan(outcome.mean_delivery_delay_ms)
+
+    def test_retry_cap_respected(self):
+        result = make_result([(27, False)] * 10)
+        outcome = simulate_harq(result, miss_rate_by_mcs={27: 1.0}, max_transmissions=3)
+        # attempts: 1 initial + 2 retries per block.
+        assert outcome.retransmissions == 20
+
+    def test_goodput_counts_bits_not_blocks(self):
+        # One big acked block outweighs several small lost ones.
+        result = make_result([(27, True)] + [(0, False)] * 3)
+        outcome = simulate_harq(result, miss_rate_by_mcs={0: 1.0})
+        assert outcome.goodput_fraction > 0.8
+
+    def test_invalid_max_transmissions(self):
+        result = make_result([(10, True)])
+        with pytest.raises(ValueError):
+            simulate_harq(result, max_transmissions=0)
+
+    def test_deterministic_with_seeded_rng(self):
+        result = make_result([(20, False)] * 30)
+        a = simulate_harq(result, rng=np.random.default_rng(3), miss_rate_by_mcs={20: 0.3})
+        b = simulate_harq(result, rng=np.random.default_rng(3), miss_rate_by_mcs={20: 0.3})
+        assert a == b
+
+    def test_empty_result(self):
+        outcome = simulate_harq(make_result([]))
+        assert outcome.transport_blocks == 0
+        assert outcome.residual_bler == 0.0
+        assert outcome.goodput_fraction == 0.0

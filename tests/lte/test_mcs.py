@@ -1,0 +1,114 @@
+"""Tests for MCS / TBS tables and the subcarrier-load metric."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lte.mcs import (
+    MCS_TABLE,
+    max_mcs,
+    mcs_entry,
+    mcs_for_throughput,
+    modulation_order,
+    subcarrier_load,
+    throughput_mbps,
+    transport_block_size,
+)
+
+
+class TestMcsTable:
+    def test_table_covers_mcs_0_to_28(self):
+        assert len(MCS_TABLE) == 29
+
+    def test_modulation_order_bands(self):
+        # TS 36.213 Table 8.6.1-1: QPSK to 10, 16QAM to 20, 64QAM beyond.
+        assert all(modulation_order(m) == 2 for m in range(0, 11))
+        assert all(modulation_order(m) == 4 for m in range(11, 21))
+        assert all(modulation_order(m) == 6 for m in range(21, 28))
+
+    def test_tbs_index_monotone(self):
+        indices = [mcs_entry(m).tbs_index for m in range(29)]
+        assert indices == sorted(indices)
+
+    def test_modulation_names(self):
+        assert mcs_entry(0).modulation_name == "QPSK"
+        assert mcs_entry(15).modulation_name == "16QAM"
+        assert mcs_entry(27).modulation_name == "64QAM"
+
+    def test_invalid_mcs_rejected(self):
+        with pytest.raises(ValueError):
+            mcs_entry(-1)
+        with pytest.raises(ValueError):
+            mcs_entry(29)
+
+    def test_max_mcs_is_27(self):
+        # The paper sweeps MCS 0-27.
+        assert max_mcs() == 27
+
+
+class TestTransportBlockSize:
+    def test_mcs0_50prb_anchor(self):
+        # ~1.3 Mbps nominal at MCS 0 (paper sec. 4.2).
+        assert transport_block_size(0, 50) == 1384
+
+    def test_mcs27_50prb_anchor(self):
+        # 31.7 Mbps peak at MCS 27 (paper sec. 4.2).
+        assert transport_block_size(27, 50) == 31704
+
+    def test_monotone_in_mcs(self):
+        sizes = [transport_block_size(m, 50) for m in range(28)]
+        assert sizes == sorted(sizes)
+
+    @given(st.integers(min_value=0, max_value=27), st.integers(min_value=1, max_value=110))
+    def test_monotone_in_prbs(self, mcs, nprb):
+        assert transport_block_size(mcs, nprb + 1) >= transport_block_size(mcs, nprb)
+
+    @given(st.integers(min_value=0, max_value=27), st.integers(min_value=1, max_value=110))
+    def test_tbs_positive_and_byte_aligned(self, mcs, nprb):
+        tbs = transport_block_size(mcs, nprb)
+        assert tbs >= 16
+        assert tbs % 8 == 0
+
+    def test_rejects_zero_prbs(self):
+        with pytest.raises(ValueError):
+            transport_block_size(5, 0)
+
+
+class TestSubcarrierLoad:
+    def test_load_range_matches_paper(self):
+        # Paper: D spans 0.16 to 3.7 bits/RE for 10 MHz.
+        assert subcarrier_load(0, 50) == pytest.approx(0.165, abs=0.01)
+        assert subcarrier_load(27, 50) == pytest.approx(3.77, abs=0.05)
+
+    def test_load_below_theoretical_limit(self):
+        # 64-QAM carries at most 6 bits per RE.
+        for mcs in range(28):
+            assert subcarrier_load(mcs, 50) < 6.0
+
+    def test_load_roughly_prb_invariant(self):
+        # D is per-RE, so it should barely move with the allocation size.
+        for mcs in (0, 13, 27):
+            d50 = subcarrier_load(mcs, 50)
+            d25 = subcarrier_load(mcs, 25)
+            assert d25 == pytest.approx(d50, rel=0.02)
+
+
+class TestThroughput:
+    def test_peak_rate(self):
+        assert throughput_mbps(27, 50) == pytest.approx(31.7, abs=0.1)
+
+    def test_mcs_for_throughput_inverts(self):
+        for mcs in (0, 5, 13, 20, 27):
+            target = throughput_mbps(mcs, 50)
+            assert mcs_for_throughput(target, 50) <= mcs
+
+    def test_mcs_for_throughput_saturates(self):
+        assert mcs_for_throughput(1000.0, 50) == 27
+
+    def test_mcs_for_zero_load(self):
+        assert mcs_for_throughput(0.0, 50) == 0
+
+    @given(st.floats(min_value=0.0, max_value=35.0, allow_nan=False))
+    def test_mcs_for_throughput_covers_target(self, target):
+        mcs = mcs_for_throughput(target, 50)
+        if mcs < 27:
+            assert throughput_mbps(mcs, 50) >= target

@@ -1,0 +1,108 @@
+"""Tests for code-block segmentation (TS 36.212 sec. 5.1.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.constants import MAX_CODE_BLOCK_BITS
+from repro.lte.mcs import transport_block_size
+from repro.lte.segmentation import (
+    TURBO_BLOCK_SIZES,
+    largest_block_size_below,
+    num_code_blocks,
+    segment_transport_block,
+    smallest_block_size_at_least,
+)
+
+
+class TestBlockSizeTable:
+    def test_table_bounds(self):
+        assert TURBO_BLOCK_SIZES[0] == 40
+        assert TURBO_BLOCK_SIZES[-1] == 6144
+
+    def test_table_has_188_sizes(self):
+        # 60 + 32 + 32 + 64 entries per the four strides of Table 5.1.3-3.
+        assert len(TURBO_BLOCK_SIZES) == 188
+
+    def test_table_strictly_increasing(self):
+        assert all(a < b for a, b in zip(TURBO_BLOCK_SIZES, TURBO_BLOCK_SIZES[1:]))
+
+    def test_smallest_at_least(self):
+        assert smallest_block_size_at_least(40) == 40
+        assert smallest_block_size_at_least(41) == 48
+        assert smallest_block_size_at_least(6144) == 6144
+
+    def test_smallest_at_least_rejects_oversize(self):
+        with pytest.raises(ValueError):
+            smallest_block_size_at_least(6145)
+
+    def test_largest_below(self):
+        assert largest_block_size_below(48) == 40
+        assert largest_block_size_below(6144) == 6080
+
+    def test_largest_below_rejects_minimum(self):
+        with pytest.raises(ValueError):
+            largest_block_size_below(40)
+
+
+class TestSegmentation:
+    def test_single_block_below_z(self):
+        result = segment_transport_block(1000)
+        assert result.num_code_blocks == 1
+        assert result.k_minus == 0
+        assert result.c_plus == 1
+
+    def test_mcs27_has_6_code_blocks(self):
+        # Paper sec. 2.2: "at MCS 27, LTE utilizes 6 code-blocks".
+        tbs = transport_block_size(27, 50)
+        assert num_code_blocks(tbs) == 6
+
+    def test_boundary_exactly_z(self):
+        result = segment_transport_block(MAX_CODE_BLOCK_BITS - 24)
+        assert result.num_code_blocks == 1
+
+    def test_boundary_just_above_z(self):
+        result = segment_transport_block(MAX_CODE_BLOCK_BITS - 24 + 1)
+        assert result.num_code_blocks == 2
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            segment_transport_block(0)
+
+    @given(st.integers(min_value=16, max_value=200_000))
+    def test_block_sizes_cover_payload(self, tbs):
+        result = segment_transport_block(tbs)
+        total = sum(result.block_sizes)
+        assert total == result.payload_bits + result.filler_bits
+
+    @given(st.integers(min_value=16, max_value=200_000))
+    def test_filler_bits_bounded(self, tbs):
+        result = segment_transport_block(tbs)
+        assert 0 <= result.filler_bits < 6144
+
+    @given(st.integers(min_value=16, max_value=200_000))
+    def test_all_block_sizes_valid(self, tbs):
+        result = segment_transport_block(tbs)
+        for size in result.block_sizes:
+            assert size in TURBO_BLOCK_SIZES
+
+    @given(st.integers(min_value=16, max_value=200_000))
+    def test_payload_accounting(self, tbs):
+        result = segment_transport_block(tbs)
+        crc_bits = 24  # transport block CRC
+        if result.num_code_blocks > 1:
+            crc_bits += result.num_code_blocks * 24
+        assert result.payload_bits == tbs + crc_bits
+
+    @given(st.integers(min_value=7000, max_value=200_000))
+    def test_k_minus_adjacent_to_k_plus(self, tbs):
+        result = segment_transport_block(tbs)
+        if result.c_minus:
+            assert result.k_minus < result.k_plus
+            idx = TURBO_BLOCK_SIZES.index(result.k_plus)
+            assert TURBO_BLOCK_SIZES[idx - 1] == result.k_minus
+
+    def test_paper_tbs_values_across_mcs(self):
+        # C must be non-decreasing in MCS for a fixed allocation.
+        counts = [num_code_blocks(transport_block_size(m, 50)) for m in range(28)]
+        assert counts == sorted(counts)
+        assert counts[0] == 1

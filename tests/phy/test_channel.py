@@ -1,0 +1,88 @@
+"""Tests for channel models and SNR utilities."""
+
+import numpy as np
+import pytest
+
+from repro.phy.channel import (
+    AwgnChannel,
+    BlockFadingChannel,
+    measure_snr_db,
+    snr_db_to_noise_var,
+)
+
+
+class TestSnrUtils:
+    def test_0db_unit_power(self):
+        assert snr_db_to_noise_var(0.0) == pytest.approx(1.0)
+
+    def test_10db(self):
+        assert snr_db_to_noise_var(10.0) == pytest.approx(0.1)
+
+    def test_scales_with_signal_power(self):
+        assert snr_db_to_noise_var(10.0, signal_power=2.0) == pytest.approx(0.2)
+
+    def test_measure_matches_target(self, rng):
+        clean = rng.normal(size=20000) + 1j * rng.normal(size=20000)
+        noise = rng.normal(scale=0.1, size=20000) + 1j * rng.normal(scale=0.1, size=20000)
+        measured = measure_snr_db(clean, clean + noise)
+        assert measured == pytest.approx(20.0, abs=0.5)
+
+    def test_measure_infinite_for_identical(self):
+        clean = np.ones(10, dtype=np.complex128)
+        assert measure_snr_db(clean, clean) == float("inf")
+
+
+class TestAwgnChannel:
+    def test_output_shape(self, rng):
+        channel = AwgnChannel(snr_db=20.0, num_antennas=3, rng=rng)
+        out = channel.apply(np.ones((14, 64), dtype=np.complex128))
+        assert out.shape == (3, 14, 64)
+
+    def test_realized_snr(self, rng):
+        channel = AwgnChannel(snr_db=15.0, num_antennas=1, rng=rng)
+        clean = np.exp(1j * rng.uniform(0, 2 * np.pi, 50000))
+        noisy = channel.apply(clean)[0]
+        assert measure_snr_db(clean, noisy) == pytest.approx(15.0, abs=0.3)
+
+    def test_independent_noise_across_antennas(self, rng):
+        channel = AwgnChannel(snr_db=0.0, num_antennas=2, rng=rng)
+        clean = np.ones(5000, dtype=np.complex128)
+        out = channel.apply(clean)
+        noise0, noise1 = out[0] - clean, out[1] - clean
+        corr = abs(np.vdot(noise0, noise1)) / (
+            np.linalg.norm(noise0) * np.linalg.norm(noise1)
+        )
+        assert corr < 0.05
+
+    def test_zero_signal_does_not_crash(self, rng):
+        channel = AwgnChannel(snr_db=10.0, rng=rng)
+        out = channel.apply(np.zeros(16, dtype=np.complex128))
+        assert np.isfinite(out).all()
+
+
+class TestBlockFading:
+    def test_gains_recorded(self, rng):
+        channel = BlockFadingChannel(snr_db=20.0, num_antennas=4, rng=rng)
+        channel.apply(np.ones(100, dtype=np.complex128))
+        assert channel.last_gains is not None
+        assert channel.last_gains.shape == (4,)
+
+    def test_gains_are_rayleigh_unit_power(self, rng):
+        channel = BlockFadingChannel(snr_db=100.0, num_antennas=1, rng=rng)
+        powers = []
+        for _ in range(3000):
+            channel.apply(np.ones(2, dtype=np.complex128))
+            powers.append(abs(channel.last_gains[0]) ** 2)
+        assert np.mean(powers) == pytest.approx(1.0, abs=0.08)
+
+    def test_fading_constant_within_block(self, rng):
+        # Block fading: one complex gain per subframe.
+        channel = BlockFadingChannel(snr_db=80.0, num_antennas=1, rng=rng)
+        clean = np.ones(64, dtype=np.complex128)
+        out = channel.apply(clean)[0]
+        ratios = out / clean
+        assert np.allclose(ratios, ratios[0], atol=1e-3)
+
+    def test_noise_variance_interface(self):
+        channel = BlockFadingChannel(snr_db=10.0)
+        assert channel.noise_variance() == pytest.approx(0.1)

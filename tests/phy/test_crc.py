@@ -1,0 +1,78 @@
+"""Tests for the CRC implementations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.phy.crc import attach_crc, crc16, crc24a, crc24b, crc_check
+
+bits_strategy = st.lists(st.integers(0, 1), min_size=1, max_size=200).map(
+    lambda b: np.array(b, dtype=np.uint8)
+)
+
+
+class TestCrcBasics:
+    def test_crc24a_width(self):
+        assert crc24a(np.zeros(40, dtype=np.uint8)).size == 24
+
+    def test_crc24b_width(self):
+        assert crc24b(np.ones(40, dtype=np.uint8)).size == 24
+
+    def test_crc16_width(self):
+        assert crc16(np.ones(16, dtype=np.uint8)).size == 16
+
+    def test_all_zero_payload_has_zero_crc(self):
+        # CRC of an all-zero message is zero for these polynomials.
+        assert not crc24a(np.zeros(64, dtype=np.uint8)).any()
+
+    def test_different_payloads_different_crcs(self):
+        a = np.zeros(40, dtype=np.uint8)
+        b = a.copy()
+        b[0] = 1
+        assert not np.array_equal(crc24a(a), crc24a(b))
+
+    def test_24a_and_24b_differ(self):
+        payload = np.ones(40, dtype=np.uint8)
+        assert not np.array_equal(crc24a(payload), crc24b(payload))
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            crc24a(np.zeros((4, 4), dtype=np.uint8))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            attach_crc(np.zeros(8, dtype=np.uint8), "32")
+        with pytest.raises(ValueError):
+            crc_check(np.zeros(40, dtype=np.uint8), "bogus")
+
+
+class TestCrcRoundTrip:
+    @given(bits_strategy, st.sampled_from(["24a", "24b", "16"]))
+    def test_attach_then_check_passes(self, bits, kind):
+        assert crc_check(attach_crc(bits, kind), kind)
+
+    @given(bits_strategy, st.sampled_from(["24a", "24b"]), st.data())
+    def test_single_bit_flip_detected(self, bits, kind, data):
+        coded = attach_crc(bits, kind)
+        pos = data.draw(st.integers(0, coded.size - 1))
+        corrupted = coded.copy()
+        corrupted[pos] ^= 1
+        assert not crc_check(corrupted, kind)
+
+    @given(bits_strategy)
+    def test_burst_error_detected(self, bits):
+        # CRC-24 detects any burst shorter than 24 bits.
+        coded = attach_crc(bits, "24a")
+        corrupted = coded.copy()
+        start = min(3, corrupted.size - 8)
+        corrupted[start : start + 8] ^= 1
+        assert not crc_check(corrupted, "24a")
+
+    def test_too_short_message_fails_check(self):
+        assert not crc_check(np.zeros(10, dtype=np.uint8), "24a")
+
+    def test_check_is_pure(self):
+        coded = attach_crc(np.ones(30, dtype=np.uint8), "24a")
+        before = coded.copy()
+        crc_check(coded, "24a")
+        assert np.array_equal(coded, before)

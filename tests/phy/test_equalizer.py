@@ -1,0 +1,84 @@
+"""Tests for MRC combining and equalization."""
+
+import numpy as np
+import pytest
+
+from repro.phy.equalizer import estimate_flat_gains, mrc_combine, zf_equalize
+
+
+class TestMrc:
+    def test_unit_gain_single_antenna(self, rng):
+        obs = rng.normal(size=(1, 50)) + 1j * rng.normal(size=(1, 50))
+        combined, scale = mrc_combine(obs, np.array([1.0 + 0j]))
+        assert np.allclose(combined, obs[0])
+        assert scale == pytest.approx(1.0)
+
+    def test_inverts_channel(self, rng):
+        signal = rng.normal(size=100) + 1j * rng.normal(size=100)
+        gains = np.array([0.7 - 0.3j, -0.2 + 1.1j])
+        obs = gains[:, None] * signal[None, :]
+        combined, _ = mrc_combine(obs, gains)
+        assert np.allclose(combined, signal)
+
+    def test_array_gain(self, rng):
+        # MRC over N unit-gain antennas cuts the noise variance N-fold.
+        n = 4
+        signal = np.ones(100_000, dtype=np.complex128)
+        noise = (
+            rng.normal(scale=np.sqrt(0.5), size=(n, signal.size))
+            + 1j * rng.normal(scale=np.sqrt(0.5), size=(n, signal.size))
+        )
+        gains = np.ones(n, dtype=np.complex128)
+        combined, scale = mrc_combine(signal[None, :] + noise, gains)
+        residual_var = np.mean(np.abs(combined - signal) ** 2)
+        assert scale == pytest.approx(float(n))
+        assert residual_var == pytest.approx(1.0 / n, rel=0.05)
+
+    def test_rejects_mismatched_antennas(self):
+        with pytest.raises(ValueError):
+            mrc_combine(np.zeros((2, 4), dtype=complex), np.ones(3, dtype=complex))
+
+    def test_rejects_zero_gains(self):
+        with pytest.raises(ValueError):
+            mrc_combine(np.zeros((1, 4), dtype=complex), np.zeros(1, dtype=complex))
+
+
+class TestZf:
+    def test_inverts_gain(self, rng):
+        signal = rng.normal(size=30) + 1j * rng.normal(size=30)
+        gain = np.full(30, 0.5 + 0.5j)
+        assert np.allclose(zf_equalize(gain * signal, gain), signal)
+
+    def test_rejects_zero_gain(self):
+        with pytest.raises(ValueError):
+            zf_equalize(np.ones(4, dtype=complex), np.zeros(4, dtype=complex))
+
+
+class TestGainEstimation:
+    def test_recovers_true_gains(self, rng):
+        reference = rng.normal(size=(14, 72)) + 1j * rng.normal(size=(14, 72))
+        gains = np.array([1.2 - 0.4j, -0.3 + 0.9j])
+        obs = gains[:, None, None] * reference[None, ...]
+        estimated = estimate_flat_gains(obs, reference)
+        assert np.allclose(estimated, gains, atol=1e-9)
+
+    def test_noisy_estimate_close(self, rng):
+        reference = rng.normal(size=(14, 600)) + 1j * rng.normal(size=(14, 600))
+        gains = np.array([0.8 + 0.1j])
+        obs = gains[:, None, None] * reference[None, ...]
+        obs = obs + 0.05 * (rng.normal(size=obs.shape) + 1j * rng.normal(size=obs.shape))
+        estimated = estimate_flat_gains(obs, reference)
+        assert abs(estimated[0] - gains[0]) < 0.02
+
+    def test_rejects_zero_reference(self):
+        with pytest.raises(ValueError):
+            estimate_flat_gains(np.ones((1, 4), dtype=complex), np.zeros(4, dtype=complex))
+
+    def test_estimate_then_mrc_round_trip(self, rng):
+        # Integration: estimate gains from the grid, then combine.
+        reference = rng.normal(size=(14, 72)) + 1j * rng.normal(size=(14, 72))
+        gains = np.array([0.9 - 0.2j, 0.4 + 1.0j])
+        obs = gains[:, None, None] * reference[None, ...]
+        estimated = estimate_flat_gains(obs, reference)
+        combined, _ = mrc_combine(obs, estimated)
+        assert np.allclose(combined, reference, atol=1e-8)

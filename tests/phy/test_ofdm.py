@@ -1,0 +1,119 @@
+"""Tests for OFDM modulation and grid mapping."""
+
+import numpy as np
+import pytest
+
+from repro.constants import SYMBOLS_PER_SUBFRAME
+from repro.lte.grid import GridConfig
+from repro.phy.ofdm import (
+    OfdmDemodulator,
+    OfdmModulator,
+    extract_symbols_from_grid,
+    map_symbols_to_grid,
+    occupied_bins,
+)
+
+
+@pytest.fixture
+def small_mod(grid_small):
+    return OfdmModulator(grid_small), OfdmDemodulator(grid_small)
+
+
+class TestOccupiedBins:
+    def test_count(self):
+        assert occupied_bins(128, 72).size == 72
+
+    def test_dc_excluded(self):
+        assert 0 not in occupied_bins(128, 72)
+
+    def test_within_fft(self):
+        bins = occupied_bins(256, 180)
+        assert bins.min() >= 0 and bins.max() < 256
+
+    def test_unique(self):
+        bins = occupied_bins(1024, 600)
+        assert np.unique(bins).size == bins.size
+
+    def test_rejects_too_many_subcarriers(self):
+        with pytest.raises(ValueError):
+            occupied_bins(64, 64)
+
+
+class TestOfdmRoundTrip:
+    def test_modulate_shape(self, small_mod, grid_small, rng):
+        mod, _ = small_mod
+        grid = rng.normal(size=(14, grid_small.num_subcarriers, 2)).view(np.complex128)[..., 0]
+        time = mod.modulate(grid)
+        assert time.shape[0] == SYMBOLS_PER_SUBFRAME
+
+    def test_round_trip_exact(self, small_mod, grid_small, rng):
+        mod, demod = small_mod
+        grid = (
+            rng.normal(size=(14, grid_small.num_subcarriers))
+            + 1j * rng.normal(size=(14, grid_small.num_subcarriers))
+        )
+        recovered = demod.demodulate(mod.modulate(grid))
+        assert np.allclose(recovered, grid, atol=1e-10)
+
+    def test_power_preserved(self, small_mod, grid_small, rng):
+        # The sqrt(N) normalization makes IFFT unitary, so subcarrier
+        # energy equals time-domain energy (excluding the CP).
+        mod, demod = small_mod
+        grid = np.ones((14, grid_small.num_subcarriers), dtype=np.complex128)
+        time = mod.modulate(grid)
+        cp = time.shape[1] - grid_small.fft_size
+        body = time[:, cp:]
+        assert np.sum(np.abs(body) ** 2) == pytest.approx(np.sum(np.abs(grid) ** 2), rel=1e-9)
+
+    def test_cyclic_prefix_is_a_copy(self, small_mod, grid_small, rng):
+        mod, _ = small_mod
+        grid = rng.normal(size=(14, grid_small.num_subcarriers)) + 0j
+        time = mod.modulate(grid)
+        cp = time.shape[1] - grid_small.fft_size
+        assert np.allclose(time[:, :cp], time[:, -cp:])
+
+    def test_modulate_rejects_bad_shape(self, small_mod):
+        mod, _ = small_mod
+        with pytest.raises(ValueError):
+            mod.modulate(np.zeros((13, 72), dtype=np.complex128))
+
+    def test_demodulate_rejects_bad_shape(self, small_mod):
+        _, demod = small_mod
+        with pytest.raises(ValueError):
+            demod.demodulate(np.zeros((14, 100), dtype=np.complex128))
+
+    def test_symbol_independence(self, small_mod, grid_small, rng):
+        # Each OFDM symbol demodulates independently — the FFT-subtask
+        # boundary the schedulers rely on.
+        mod, demod = small_mod
+        grid = rng.normal(size=(14, grid_small.num_subcarriers)) + 0j
+        time = mod.modulate(grid)
+        time[3] = 0.0  # clobber one symbol
+        recovered = demod.demodulate(time)
+        assert np.allclose(recovered[4:], grid[4:], atol=1e-10)
+        assert np.allclose(recovered[:3], grid[:3], atol=1e-10)
+
+
+class TestGridMapping:
+    def test_round_trip(self, rng):
+        symbols = rng.normal(size=500) + 1j * rng.normal(size=500)
+        grid = map_symbols_to_grid(symbols, 72)
+        assert np.allclose(extract_symbols_from_grid(grid, 500), symbols)
+
+    def test_grid_shape(self):
+        grid = map_symbols_to_grid(np.zeros(10, dtype=np.complex128), 72)
+        assert grid.shape == (14, 72)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            map_symbols_to_grid(np.zeros(14 * 72 + 1, dtype=np.complex128), 72)
+
+    def test_extract_overflow_rejected(self):
+        grid = map_symbols_to_grid(np.zeros(10, dtype=np.complex128), 72)
+        with pytest.raises(ValueError):
+            extract_symbols_from_grid(grid, 14 * 72 + 1)
+
+    def test_padding_is_zero(self):
+        grid = map_symbols_to_grid(np.ones(10, dtype=np.complex128), 72)
+        flat = grid.ravel()
+        assert not flat[10:].any()

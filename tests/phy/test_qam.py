@@ -1,0 +1,111 @@
+"""Tests for QAM mapping and max-log LLR demapping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phy.qam import constellation, hard_bits_from_llrs, qam_demap_llr, qam_map
+
+
+class TestConstellations:
+    @pytest.mark.parametrize("q_m,size", [(2, 4), (4, 16), (6, 64)])
+    def test_sizes(self, q_m, size):
+        assert constellation(q_m).size == size
+
+    @pytest.mark.parametrize("q_m", [2, 4, 6])
+    def test_unit_average_energy(self, q_m):
+        points = constellation(q_m)
+        assert np.mean(np.abs(points) ** 2) == pytest.approx(1.0, rel=1e-9)
+
+    @pytest.mark.parametrize("q_m", [2, 4, 6])
+    def test_points_distinct(self, q_m):
+        points = constellation(q_m)
+        assert len(np.unique(np.round(points, 9))) == points.size
+
+    @pytest.mark.parametrize("q_m", [2, 4, 6])
+    def test_symmetric_about_origin(self, q_m):
+        points = set(np.round(constellation(q_m), 9))
+        assert all(np.round(-p, 9) in points for p in points)
+
+    def test_unsupported_order_rejected(self):
+        with pytest.raises(ValueError):
+            constellation(8)
+
+    def test_qpsk_first_bit_selects_i_sign(self):
+        points = constellation(2)
+        # Index 00 -> (+,+)/sqrt(2), index 11 -> (-,-).
+        assert points[0].real > 0 and points[0].imag > 0
+        assert points[3].real < 0 and points[3].imag < 0
+
+
+class TestMapping:
+    @pytest.mark.parametrize("q_m", [2, 4, 6])
+    def test_map_length(self, q_m, rng):
+        bits = rng.integers(0, 2, 10 * q_m).astype(np.uint8)
+        assert qam_map(bits, q_m).size == 10
+
+    def test_map_rejects_ragged_input(self):
+        with pytest.raises(ValueError):
+            qam_map(np.zeros(5, dtype=np.uint8), 4)
+
+    @pytest.mark.parametrize("q_m", [2, 4, 6])
+    def test_gray_property_adjacent_amplitudes(self, q_m):
+        # Each constellation point is a valid point of the set.
+        bits = np.zeros(q_m, dtype=np.uint8)
+        sym = qam_map(bits, q_m)
+        assert np.round(sym[0], 9) in set(np.round(constellation(q_m), 9))
+
+
+class TestDemapping:
+    @pytest.mark.parametrize("q_m", [2, 4, 6])
+    def test_noiseless_round_trip(self, q_m, rng):
+        bits = rng.integers(0, 2, 60 * q_m // 2 * 2).astype(np.uint8)
+        bits = bits[: (bits.size // q_m) * q_m]
+        symbols = qam_map(bits, q_m)
+        llrs = qam_demap_llr(symbols, q_m, noise_var=0.01)
+        assert np.array_equal(hard_bits_from_llrs(llrs), bits)
+
+    @pytest.mark.parametrize("q_m", [2, 4, 6])
+    def test_llr_count(self, q_m, rng):
+        symbols = qam_map(rng.integers(0, 2, 12 * q_m).astype(np.uint8), q_m)
+        assert qam_demap_llr(symbols, q_m, 0.1).size == 12 * q_m
+
+    def test_llr_sign_convention(self):
+        # A symbol exactly on a bit-0 point must give positive LLRs for
+        # the bits that are 0 at that point.
+        point = constellation(2)[0]  # bits 00
+        llrs = qam_demap_llr(np.array([point]), 2, 0.1)
+        assert np.all(llrs > 0)
+
+    def test_llr_scales_with_noise_var(self):
+        symbol = np.array([constellation(2)[0]])
+        llr_low = qam_demap_llr(symbol, 2, 0.01)
+        llr_high = qam_demap_llr(symbol, 2, 1.0)
+        assert np.all(np.abs(llr_low) > np.abs(llr_high))
+
+    def test_noise_var_must_be_positive(self):
+        with pytest.raises(ValueError):
+            qam_demap_llr(np.array([1 + 1j]), 2, 0.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 63), st.sampled_from([2, 4, 6]))
+    def test_llr_of_exact_point_decodes_its_index(self, index, q_m):
+        index = index % (1 << q_m)
+        point = constellation(q_m)[index]
+        llrs = qam_demap_llr(np.array([point]), q_m, 0.05)
+        bits = hard_bits_from_llrs(llrs)
+        recovered = 0
+        for b in bits:
+            recovered = (recovered << 1) | int(b)
+        assert recovered == index
+
+    @pytest.mark.parametrize("q_m", [2, 4, 6])
+    def test_awgn_demap_mostly_correct(self, q_m, rng):
+        bits = rng.integers(0, 2, 300 * q_m).astype(np.uint8)
+        symbols = qam_map(bits, q_m)
+        # 64QAM needs ~27 dB for a comfortably low uncoded BER.
+        noise_var = 0.002
+        noisy = symbols + rng.normal(scale=np.sqrt(noise_var / 2), size=(symbols.size, 2)).view(np.complex128).ravel()
+        llrs = qam_demap_llr(noisy, q_m, noise_var)
+        errors = np.sum(hard_bits_from_llrs(llrs) != bits)
+        assert errors / bits.size < 0.01

@@ -1,0 +1,134 @@
+"""Tests for rate matching: sub-block interleaver + circular buffer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phy.ratematch import (
+    RateMatchConfig,
+    bits_per_code_block,
+    circular_buffer_order,
+    rate_dematch,
+    rate_match,
+)
+from repro.phy.turbo import TAIL_BITS
+
+block_sizes = st.sampled_from([40, 64, 104, 256, 512])
+
+
+class TestCircularBuffer:
+    @given(block_sizes)
+    def test_order_is_permutation(self, k):
+        order = circular_buffer_order(k)
+        assert sorted(order) == list(range(3 * k))
+
+    @given(block_sizes)
+    def test_systematic_bits_first(self, k):
+        # The first K buffer entries are the (interleaved) systematic bits.
+        order = circular_buffer_order(k)
+        assert set(order[:k]) == set(range(k))
+
+    @given(block_sizes)
+    def test_parity_interlaced(self, k):
+        order = circular_buffer_order(k)
+        parity = order[k:]
+        # Alternating p1 (offset K) and p2 (offset 2K) entries.
+        assert all(k <= idx < 2 * k for idx in parity[0::2])
+        assert all(2 * k <= idx < 3 * k for idx in parity[1::2])
+
+
+class TestRateMatch:
+    def _coded(self, k, rng):
+        return rng.integers(0, 2, 3 * k + TAIL_BITS).astype(np.uint8)
+
+    @given(block_sizes, st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_output_length(self, k, data):
+        rng = np.random.default_rng(data.draw(st.integers(0, 1000)))
+        e = data.draw(st.integers(min_value=TAIL_BITS + 16, max_value=4 * k))
+        out = rate_match(self._coded(k, rng), RateMatchConfig(k, e))
+        assert out.size == e
+
+    def test_full_rate_passthrough(self, rng):
+        # E = 3K + 12: every coded bit transmitted exactly once.
+        k = 104
+        coded = self._coded(k, rng)
+        config = RateMatchConfig(k, 3 * k + TAIL_BITS)
+        out = rate_match(coded, config)
+        soft = rate_dematch(1.0 - 2.0 * out.astype(float), config)
+        hard = (soft < 0).astype(np.uint8)
+        assert np.array_equal(hard, coded)
+
+    def test_repetition_accumulates(self, rng):
+        # E = 2*(3K) + 12: each body bit sent twice, LLRs double.
+        k = 40
+        coded = self._coded(k, rng)
+        config = RateMatchConfig(k, 6 * k + TAIL_BITS)
+        out = rate_match(coded, config)
+        soft = rate_dematch(1.0 - 2.0 * out.astype(float), config)
+        assert np.allclose(np.abs(soft[: 3 * k]), 2.0)
+
+    def test_puncturing_erases_with_zero_llr(self, rng):
+        k = 104
+        coded = self._coded(k, rng)
+        e = TAIL_BITS + 2 * k  # punctured below the mother rate
+        config = RateMatchConfig(k, e)
+        out = rate_match(coded, config)
+        soft = rate_dematch(1.0 - 2.0 * out.astype(float), config)
+        body = soft[: 3 * k]
+        assert np.sum(body == 0.0) == 3 * k - 2 * k
+
+    def test_tail_always_transmitted(self, rng):
+        k = 64
+        coded = self._coded(k, rng)
+        config = RateMatchConfig(k, TAIL_BITS + 32)
+        out = rate_match(coded, config)
+        assert np.array_equal(out[-TAIL_BITS:], coded[3 * k :])
+
+    def test_rejects_tiny_e(self):
+        with pytest.raises(ValueError):
+            RateMatchConfig(40, TAIL_BITS)
+
+    def test_rejects_wrong_codeword_length(self, rng):
+        with pytest.raises(ValueError):
+            rate_match(np.zeros(100, dtype=np.uint8), RateMatchConfig(40, 60))
+
+    def test_dematch_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            rate_dematch(np.zeros(10), RateMatchConfig(40, 60))
+
+    @given(block_sizes, st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_systematic_survives_moderate_puncturing(self, k, seed):
+        # With E >= K + 12 the cyclic selection covers all systematic bits.
+        rng = np.random.default_rng(seed)
+        coded = self._coded(k, rng)
+        config = RateMatchConfig(k, k + TAIL_BITS)
+        out = rate_match(coded, config)
+        soft = rate_dematch(1.0 - 2.0 * out.astype(float), config)
+        systematic = soft[:k]
+        assert np.all(systematic != 0.0)
+        assert np.array_equal((systematic < 0).astype(np.uint8), coded[:k])
+
+
+class TestBitsPerCodeBlock:
+    def test_even_split(self):
+        assert bits_per_code_block(600, 3, 2) == [200, 200, 200]
+
+    def test_remainder_goes_to_tail_blocks(self):
+        shares = bits_per_code_block(604, 3, 2)
+        assert sum(shares) == 604
+        assert shares == sorted(shares)
+
+    def test_all_multiples_of_qm(self):
+        for q_m in (2, 4, 6):
+            shares = bits_per_code_block(50_400 // 6 * q_m, 6, q_m)
+            assert all(s % q_m == 0 for s in shares)
+
+    def test_rejects_non_multiple_total(self):
+        with pytest.raises(ValueError):
+            bits_per_code_block(601, 3, 2)
+
+    def test_rejects_zero_blocks(self):
+        with pytest.raises(ValueError):
+            bits_per_code_block(600, 0, 2)

@@ -1,0 +1,87 @@
+"""Tests for Gold sequences and scrambling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.phy.sequences import descramble_llrs, gold_sequence, pusch_c_init, scramble
+
+
+class TestGoldSequence:
+    def test_length(self):
+        assert gold_sequence(100, 12345).size == 100
+
+    def test_zero_length(self):
+        assert gold_sequence(0, 1).size == 0
+
+    def test_binary_output(self):
+        seq = gold_sequence(500, 999)
+        assert set(np.unique(seq)).issubset({0, 1})
+
+    def test_deterministic(self):
+        assert np.array_equal(gold_sequence(200, 7), gold_sequence(200, 7))
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(gold_sequence(200, 7), gold_sequence(200, 8))
+
+    def test_roughly_balanced(self):
+        # A Gold sequence is balanced: ~half ones.
+        seq = gold_sequence(10_000, 0x1234)
+        assert 0.45 < seq.mean() < 0.55
+
+    def test_low_autocorrelation(self):
+        seq = 1.0 - 2.0 * gold_sequence(4096, 77).astype(float)
+        shifted = np.roll(seq, 100)
+        corr = abs(np.dot(seq, shifted)) / seq.size
+        assert corr < 0.1
+
+    def test_seed_validation(self):
+        with pytest.raises(ValueError):
+            gold_sequence(10, 1 << 31)
+        with pytest.raises(ValueError):
+            gold_sequence(-1, 0)
+
+
+class TestScrambling:
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=300))
+    def test_scramble_is_involutive(self, bits):
+        bits = np.array(bits, dtype=np.uint8)
+        c_init = 0xABCDE
+        assert np.array_equal(scramble(scramble(bits, c_init), c_init), bits)
+
+    def test_scramble_changes_bits(self):
+        bits = np.zeros(200, dtype=np.uint8)
+        assert scramble(bits, 0x5555).sum() > 0
+
+    def test_descramble_llrs_matches_hard_descramble(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, 128).astype(np.uint8)
+        c_init = 0x777
+        scrambled = scramble(bits, c_init)
+        # LLR convention: positive = bit 0.
+        llrs = 1.0 - 2.0 * scrambled.astype(float)
+        descrambled = descramble_llrs(llrs, c_init)
+        hard = (descrambled < 0).astype(np.uint8)
+        assert np.array_equal(hard, bits)
+
+    def test_descramble_preserves_magnitude(self):
+        llrs = np.linspace(-5, 5, 64)
+        out = descramble_llrs(llrs, 0x99)
+        assert np.allclose(np.abs(out), np.abs(llrs))
+
+
+class TestCInit:
+    def test_c_init_in_range(self):
+        assert 0 <= pusch_c_init(0xFFFF, 9, 503) < (1 << 31)
+
+    def test_distinct_per_subframe(self):
+        # ns = 2*subframe, so ns//2 spans 0..9 within a frame.
+        seeds = {pusch_c_init(100, sf, 1) for sf in range(10)}
+        assert len(seeds) == 10
+
+    def test_distinct_per_cell(self):
+        assert pusch_c_init(1, 0, 1) != pusch_c_init(1, 0, 2)
+
+    def test_cell_id_validated(self):
+        with pytest.raises(ValueError):
+            pusch_c_init(1, 0, 504)

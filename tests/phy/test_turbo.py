@@ -1,0 +1,148 @@
+"""Tests for the turbo codec: QPP interleaver, encoder, max-log-MAP decoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phy.crc import attach_crc, crc_check
+from repro.phy.turbo import (
+    TAIL_BITS,
+    TurboCodec,
+    bpsk_llrs,
+    qpp_coefficients,
+    qpp_interleaver,
+)
+
+small_k = st.sampled_from([40, 48, 64, 104, 128, 256])
+
+
+class TestQppInterleaver:
+    @given(small_k)
+    def test_is_permutation(self, k):
+        perm = qpp_interleaver(k)
+        assert sorted(perm) == list(range(k))
+
+    @given(small_k)
+    def test_coefficients_valid(self, k):
+        f1, f2 = qpp_coefficients(k)
+        assert f1 % 2 == 1
+        assert f2 % 2 == 0
+        from math import gcd
+
+        assert gcd(f1, k) == 1
+
+    def test_largest_lte_size(self):
+        perm = qpp_interleaver(6144)
+        assert len(set(perm)) == 6144
+
+    def test_rejects_tiny_blocks(self):
+        with pytest.raises(ValueError):
+            qpp_coefficients(4)
+
+    def test_not_identity(self):
+        perm = qpp_interleaver(104)
+        assert perm != tuple(range(104))
+
+
+class TestEncoder:
+    def test_output_length(self, rng):
+        codec = TurboCodec(64)
+        coded = codec.encode(rng.integers(0, 2, 64).astype(np.uint8))
+        assert coded.size == 3 * 64 + TAIL_BITS
+        assert codec.coded_bits == coded.size
+
+    def test_systematic_prefix(self, rng):
+        bits = rng.integers(0, 2, 40).astype(np.uint8)
+        coded = TurboCodec(40).encode(bits)
+        assert np.array_equal(coded[:40], bits)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            TurboCodec(40).encode(np.zeros(41, dtype=np.uint8))
+
+    def test_deterministic(self, rng):
+        bits = rng.integers(0, 2, 104).astype(np.uint8)
+        codec = TurboCodec(104)
+        assert np.array_equal(codec.encode(bits), codec.encode(bits))
+
+    def test_linear_code_zero_maps_to_zero(self):
+        # The RSC encoders are linear with zero initial state, so the
+        # all-zero input encodes to the all-zero codeword.
+        coded = TurboCodec(40).encode(np.zeros(40, dtype=np.uint8))
+        assert not coded.any()
+
+    def test_rejects_bad_max_iterations(self):
+        with pytest.raises(ValueError):
+            TurboCodec(40, max_iterations=0)
+
+
+class TestDecoder:
+    def test_noiseless_round_trip(self, rng):
+        codec = TurboCodec(104, max_iterations=4)
+        bits = rng.integers(0, 2, 104).astype(np.uint8)
+        llrs = 10.0 * (1.0 - 2.0 * codec.encode(bits).astype(float))
+        result = codec.decode(llrs)
+        assert np.array_equal(result.bits, bits)
+        assert result.iterations <= 2
+
+    def test_rejects_wrong_llr_length(self):
+        with pytest.raises(ValueError):
+            TurboCodec(40).decode(np.zeros(10))
+
+    @pytest.mark.parametrize("snr_db", [2.0, 0.0])
+    def test_awgn_round_trip(self, snr_db, rng):
+        # Rate-1/3 turbo decodes comfortably at these SNRs.
+        codec = TurboCodec(256, max_iterations=8)
+        bits = rng.integers(0, 2, 256).astype(np.uint8)
+        llrs = bpsk_llrs(codec.encode(bits), snr_db, rng)
+        result = codec.decode(llrs)
+        assert np.array_equal(result.bits, bits)
+
+    def test_iterations_increase_at_low_snr(self, rng):
+        codec = TurboCodec(256, max_iterations=8)
+        bits = rng.integers(0, 2, 256).astype(np.uint8)
+        coded = codec.encode(bits)
+        high = np.mean([codec.decode(bpsk_llrs(coded, 4.0, rng)).iterations for _ in range(5)])
+        low = np.mean([codec.decode(bpsk_llrs(coded, -0.5, rng)).iterations for _ in range(5)])
+        assert low > high
+
+    def test_crc_gated_early_stop(self, rng):
+        # With a CRC checker the decoder stops at the first passing pass.
+        payload = rng.integers(0, 2, 80).astype(np.uint8)
+        block = attach_crc(payload, "24b")
+        codec = TurboCodec(block.size, max_iterations=8)
+        llrs = bpsk_llrs(codec.encode(block), 3.0, rng)
+        result = codec.decode(llrs, crc_checker=lambda b: crc_check(b, "24b"))
+        assert result.crc_pass
+        assert result.iterations <= 3
+        assert np.array_equal(result.bits[:-24], payload)
+
+    def test_iteration_cap_respected(self, rng):
+        codec = TurboCodec(64, max_iterations=3)
+        # Pure noise: the decoder must give up at the cap.
+        llrs = rng.normal(size=codec.coded_bits)
+        result = codec.decode(llrs)
+        assert result.iterations <= 3
+
+    def test_failed_crc_reported(self, rng):
+        codec = TurboCodec(64, max_iterations=2)
+        llrs = rng.normal(size=codec.coded_bits) * 3
+        result = codec.decode(llrs, crc_checker=lambda b: crc_check(b, "24b"))
+        assert not result.crc_pass
+
+    @settings(max_examples=10, deadline=None)
+    @given(small_k, st.integers(0, 10_000))
+    def test_property_noiseless_round_trip(self, k, seed):
+        rng = np.random.default_rng(seed)
+        codec = TurboCodec(k, max_iterations=4)
+        bits = rng.integers(0, 2, k).astype(np.uint8)
+        llrs = 8.0 * (1.0 - 2.0 * codec.encode(bits).astype(float))
+        assert np.array_equal(codec.decode(llrs).bits, bits)
+
+    def test_punctured_systematic_recoverable(self, rng):
+        # Erase a few systematic LLRs: parity carries the information.
+        codec = TurboCodec(104, max_iterations=8)
+        bits = rng.integers(0, 2, 104).astype(np.uint8)
+        llrs = 6.0 * (1.0 - 2.0 * codec.encode(bits).astype(float))
+        llrs[:10] = 0.0
+        assert np.array_equal(codec.decode(llrs).bits, bits)

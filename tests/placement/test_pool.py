@@ -1,0 +1,102 @@
+"""Tests for provisioning and placement."""
+
+import pytest
+
+from repro.placement import (
+    peak_cores_required,
+    place_basestations,
+    pooled_cores_required,
+    pooling_savings,
+)
+from repro.sched import CRanConfig, build_workload
+
+from tests.helpers import make_job
+
+
+@pytest.fixture(scope="module")
+def fleet_jobs():
+    cfg = CRanConfig(transport_latency_us=500.0)
+    return build_workload(cfg, 2000, seed=21)
+
+
+class TestProvisioning:
+    def test_pooled_never_exceeds_peak(self, fleet_jobs):
+        for q in (0.9, 0.99, 0.999):
+            assert pooled_cores_required(fleet_jobs, q) <= peak_cores_required(fleet_jobs, q)
+
+    def test_savings_in_unit_interval(self, fleet_jobs):
+        saving = pooling_savings(fleet_jobs)
+        assert 0.0 <= saving < 1.0
+
+    def test_savings_material(self, fleet_jobs):
+        # The pooling argument: savings of the order CloudIQ reports
+        # (tens of percent) on fluctuating cellular traffic.
+        assert pooling_savings(fleet_jobs, 0.999) >= 0.15
+
+    def test_higher_quantile_needs_no_fewer_cores(self, fleet_jobs):
+        assert peak_cores_required(fleet_jobs, 0.999) >= peak_cores_required(fleet_jobs, 0.9)
+        assert pooled_cores_required(fleet_jobs, 0.999) >= pooled_cores_required(fleet_jobs, 0.9)
+
+    def test_deterministic_workload_exact(self):
+        # Constant 50% utilization per cell: peak = 1 core each, pooled
+        # = ceil(0.5 * n).
+        jobs = [make_job(b, j, 13, [1], noise=0.0) for b in range(4) for j in range(50)]
+        util = jobs[0].serial_time_us / 1000.0
+        assert 0.4 < util < 1.0
+        assert peak_cores_required(jobs, 0.999) == 4
+        assert pooled_cores_required(jobs, 0.999) == -(-int(util * 4 * 1000) // 1000)
+
+    def test_quantile_validation(self, fleet_jobs):
+        with pytest.raises(ValueError):
+            peak_cores_required(fleet_jobs, 0.0)
+        with pytest.raises(ValueError):
+            pooled_cores_required(fleet_jobs, 1.5)
+
+    def test_empty_jobs(self):
+        assert pooled_cores_required([], 0.99) == 0
+
+
+class TestPlacement:
+    def test_every_bs_placed_once(self, fleet_jobs):
+        placement = place_basestations(fleet_jobs, cores_per_node=8)
+        assert sorted(placement.node_of) == [0, 1, 2, 3]
+
+    def test_single_node_fits_default_fleet(self, fleet_jobs):
+        placement = place_basestations(fleet_jobs, cores_per_node=8)
+        assert placement.node_count == 1
+
+    def test_small_nodes_force_spreading(self, fleet_jobs):
+        placement = place_basestations(fleet_jobs, cores_per_node=3)
+        assert placement.node_count >= 2
+
+    def test_basestations_on_lists_membership(self, fleet_jobs):
+        placement = place_basestations(fleet_jobs, cores_per_node=3)
+        seen = []
+        for node in range(placement.node_count):
+            seen.extend(placement.basestations_on(node))
+        assert sorted(seen) == [0, 1, 2, 3]
+
+    def test_oversized_cell_rejected(self):
+        # A cell demanding more than a whole node cannot be placed.
+        jobs = [make_job(0, j, 27, [4], noise=500.0) for j in range(20)]
+        with pytest.raises(ValueError):
+            place_basestations(jobs, cores_per_node=2)
+
+    def test_node_budget_respected(self, fleet_jobs):
+        import numpy as np
+
+        placement = place_basestations(fleet_jobs, cores_per_node=3, quantile=0.99)
+        # Recompute weights and verify no node exceeds its budget.
+        from repro.placement.pool import _utilization_matrix
+
+        weights = {
+            bs: float(np.quantile(d, 0.99))
+            for bs, d in _utilization_matrix(fleet_jobs).items()
+        }
+        for node in range(placement.node_count):
+            total = sum(weights[bs] for bs in placement.basestations_on(node))
+            assert total <= 3.0 + 1e-9
+
+    def test_invalid_cores_per_node(self, fleet_jobs):
+        with pytest.raises(ValueError):
+            place_basestations(fleet_jobs, cores_per_node=0)

@@ -1,0 +1,57 @@
+"""Tests for the CloudIQ-style WCET-admission scheduler."""
+
+import pytest
+
+from repro.sched import CloudIqScheduler, CRanConfig, run_scheduler
+
+from tests.helpers import make_job
+
+
+class TestCloudIq:
+    def test_admits_light_subframes(self):
+        cfg = CRanConfig(transport_latency_us=500.0)
+        jobs = [make_job(0, j, 5, [1]) for j in range(4)]
+        result = CloudIqScheduler(cfg).run(jobs)
+        assert result.miss_rate() == 0.0
+
+    def test_rejects_wcet_overruns_at_admission(self):
+        # MCS 27's WCET (~2.04 ms) exceeds any budget in the sweep, so
+        # CloudIQ rejects such subframes outright.
+        cfg = CRanConfig(transport_latency_us=500.0)
+        jobs = [make_job(0, 0, 27, [1])]  # actual L=1 would have fit!
+        result = CloudIqScheduler(cfg).run(jobs)
+        record = result.records[0]
+        assert record.dropped
+        assert record.drop_stage == "admission"
+
+    def test_admitted_fraction_shrinks_with_rtt(self):
+        jobs = [make_job(0, j, m, [2], rtt=0.0) for j, m in enumerate((5, 13, 20, 24, 27))]
+        fractions = []
+        for rtt in (400.0, 700.0):
+            cfg = CRanConfig(transport_latency_us=rtt)
+            fractions.append(CloudIqScheduler(cfg).admitted_fraction(jobs))
+        assert fractions[1] <= fractions[0]
+
+    def test_no_misses_among_admitted(self, small_config, small_workload):
+        # The WCET guarantee: everything admitted finishes in time.
+        result = run_scheduler("cloudiq", small_config, small_workload)
+        for r in result.records:
+            if r.drop_stage != "admission":
+                assert not r.missed
+
+    def test_conservatism_costs_throughput(self, small_config, small_workload):
+        # CloudIQ's overall miss rate exceeds plain partitioned: it
+        # forfeits frames that would usually have decoded in L < Lm.
+        cloudiq = run_scheduler("cloudiq", small_config, small_workload)
+        part = run_scheduler("partitioned", small_config, small_workload)
+        assert cloudiq.miss_rate() >= part.miss_rate()
+
+    def test_all_records_present_and_sorted(self, small_config, small_workload):
+        result = run_scheduler("cloudiq", small_config, small_workload)
+        assert len(result.records) == len(small_workload)
+        keys = [(r.index, r.bs_id) for r in result.records]
+        assert keys == sorted(keys)
+
+    def test_scheduler_name(self, small_config, small_workload):
+        result = run_scheduler("cloudiq", small_config, small_workload)
+        assert result.scheduler_name == "cloudiq"

@@ -1,0 +1,86 @@
+"""Robustness across non-default C-RAN configurations.
+
+The evaluation fixes 4 BS x 2 cores x 2 antennas; a library user will
+not.  These tests sweep the configuration space the API admits and
+check the schedulers stay sound and the paper's ordering stays put.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sched import CRanConfig, build_workload, run_scheduler
+from repro.workload.traces import BasestationTraceConfig, CellularTraceGenerator
+
+
+def workload_for(num_bs, num_subframes, cores_per_bs=2, antennas=2, rtt=550.0, seed=17):
+    configs = [
+        BasestationTraceConfig(mean=0.45 + 0.05 * (i % 3), slow_std=0.15, fast_std=0.1)
+        for i in range(num_bs)
+    ]
+    loads = CellularTraceGenerator(configs, seed=seed).generate(num_subframes)
+    cfg = CRanConfig(
+        num_basestations=num_bs,
+        cores_per_bs=cores_per_bs,
+        num_antennas=antennas,
+        transport_latency_us=rtt,
+    )
+    return cfg, build_workload(cfg, num_subframes, seed=seed, loads=loads)
+
+
+class TestConfigurationSpace:
+    @pytest.mark.parametrize("num_bs", [1, 2, 6])
+    def test_basestation_counts(self, num_bs):
+        cfg, jobs = workload_for(num_bs, 300)
+        for name in ("partitioned", "rt-opex"):
+            result = run_scheduler(name, cfg, jobs)
+            assert len(result.records) == len(jobs)
+
+    def test_three_cores_per_bs(self):
+        # ceil(Tmax) = 3 would follow from Tmax > 2 ms systems; the
+        # placement and activation math must generalize.
+        cfg, jobs = workload_for(2, 300, cores_per_bs=3)
+        part = run_scheduler("partitioned", cfg, jobs)
+        opex = run_scheduler("rt-opex", cfg, jobs)
+        cores_seen = {r.core_id for r in part.records}
+        assert cores_seen <= set(range(6))
+        assert len(cores_seen) == 6
+        assert opex.miss_count() <= part.miss_count()
+
+    @pytest.mark.parametrize("antennas", [1, 4])
+    def test_antenna_counts(self, antennas):
+        cfg, jobs = workload_for(4, 200, antennas=antennas)
+        result = run_scheduler("rt-opex", cfg, jobs)
+        # FFT subtask count follows the antenna count.
+        for job in jobs[:5]:
+            assert job.work.task("fft").num_subtasks == antennas
+        assert len(result.records) == len(jobs)
+
+    def test_four_antennas_stress_more_misses(self):
+        # +169 us per antenna: the same trace misses more at N=4.
+        cfg2, jobs2 = workload_for(4, 800, antennas=2)
+        cfg4, jobs4 = workload_for(4, 800, antennas=4)
+        part2 = run_scheduler("partitioned", cfg2, jobs2)
+        part4 = run_scheduler("partitioned", cfg4, jobs4)
+        assert part4.miss_rate() >= part2.miss_rate()
+
+    def test_single_basestation_isolated(self):
+        # One BS on two cores: no cross-BS gaps exist, so RT-OPEX can
+        # only use the sibling core's windows — still sound.
+        cfg, jobs = workload_for(1, 500)
+        opex = run_scheduler("rt-opex", cfg, jobs)
+        part = run_scheduler("partitioned", cfg, jobs)
+        assert opex.miss_count() <= part.miss_count()
+
+    def test_global_with_odd_core_count(self):
+        cfg, jobs = workload_for(4, 300)
+        odd = CRanConfig(transport_latency_us=550.0, num_cores=5)
+        result = run_scheduler("global", odd, jobs)
+        assert {r.core_id for r in result.records if r.core_id >= 0} <= set(range(5))
+
+    def test_extreme_rtt_bounds(self):
+        # RTT/2 = 0 (co-located radios) and 900 us (far fronthaul).
+        for rtt in (0.0, 900.0):
+            cfg, jobs = workload_for(4, 200, rtt=rtt)
+            result = run_scheduler("rt-opex", cfg, jobs)
+            for r in result.records:
+                assert r.finish_us <= r.deadline_us + 1e-6

@@ -1,0 +1,100 @@
+"""Tests for the global (EDF/FIFO) scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.sched import CRanConfig, GlobalScheduler
+from repro.timing.cache import CacheAffinityModel
+
+from tests.helpers import make_job
+
+
+def run_global(jobs, cores=8, rtt=500.0, **kwargs):
+    cfg = CRanConfig(transport_latency_us=rtt, num_cores=cores)
+    return GlobalScheduler(cfg, rng=np.random.default_rng(0), **kwargs).run(jobs)
+
+
+class TestGlobalScheduler:
+    def test_light_load_no_misses(self):
+        jobs = [make_job(b, j, 5, [1]) for b in range(4) for j in range(5)]
+        result = run_global(jobs)
+        assert result.miss_rate() == 0.0
+
+    def test_name_includes_core_count(self):
+        result = run_global([make_job(0, 0, 5, [1])], cores=16)
+        assert result.scheduler_name == "global-16"
+
+    def test_queueing_on_few_cores(self):
+        # Four simultaneous mid-size arrivals on two cores: two queue
+        # behind the first pair but still meet their deadlines.
+        jobs = [make_job(b, 0, 10, [1]) for b in range(4)]
+        result = run_global(jobs, cores=2)
+        delays = sorted(r.queue_delay_us for r in result.records)
+        assert delays[-1] > 400.0
+        assert result.miss_rate() == 0.0
+
+    def test_queued_beyond_deadline_dropped_at_dispatch(self):
+        # 8 heavy subframes at once on 1 core: the tail can never make
+        # its deadline and is dropped by the dispatcher.
+        jobs = [make_job(b % 4, b // 4, 27, [4, 4, 4, 4, 4, 4]) for b in range(8)]
+        result = run_global(jobs, cores=1)
+        assert any(r.drop_stage == "dispatch" for r in result.records)
+
+    def test_all_subframes_accounted_once(self):
+        jobs = [make_job(b, j, 13, [2, 2, 2]) for b in range(4) for j in range(10)]
+        result = run_global(jobs, cores=4)
+        assert len(result.records) == len(jobs)
+        keys = {(r.bs_id, r.index) for r in result.records}
+        assert len(keys) == len(jobs)
+
+    def test_cache_penalty_recorded(self):
+        jobs = [make_job(b, j, 13, [2, 2, 2]) for b in range(4) for j in range(6)]
+        result = run_global(jobs, cores=8)
+        penalties = [r.cache_penalty_us for r in result.records if not r.dropped]
+        assert max(penalties) > 0.0
+
+    def test_zero_cache_model_removes_penalties(self):
+        cache = CacheAffinityModel(cold_penalty_low_us=0.0, cold_penalty_high_us=0.0)
+        jobs = [make_job(b, j, 13, [2, 2, 2]) for b in range(4) for j in range(6)]
+        result = run_global(jobs, cores=8, cache_model=cache)
+        assert all(r.cache_penalty_us == 0.0 for r in result.records)
+
+    def test_dispatch_overhead_delays_start(self):
+        job = make_job(0, 0, 5, [1])
+        result = run_global([job], dispatch_overhead_us=25.0)
+        record = result.records[0]
+        assert record.start_us == pytest.approx(job.arrival_us + 25.0)
+
+    def test_edf_order_for_distinct_deadlines(self):
+        # Same arrival burst, one subframe from an earlier index: it has
+        # the earlier deadline and must dispatch first on the single core.
+        late = make_job(0, 1, 13, [2, 2, 2])
+        early = make_job(1, 0, 13, [2, 2, 2], rtt=1500.0)  # arrives with late
+        result = run_global([late, early], cores=1)
+        by_key = {(r.bs_id, r.index): r for r in result.records}
+        assert by_key[(1, 0)].start_us <= by_key[(0, 1)].start_us
+
+    def test_terminated_at_deadline(self):
+        jobs = [make_job(0, 0, 27, [4, 4, 4, 4, 4, 4], rtt=700.0)]
+        result = run_global(jobs, rtt=700.0)
+        record = result.records[0]
+        assert record.missed
+        assert record.finish_us <= record.deadline_us
+
+    def test_queue_overflow_drops_oldest(self):
+        jobs = [make_job(b % 4, b // 4, 27, [4] * 6) for b in range(12)]
+        cfg = CRanConfig(transport_latency_us=500.0, num_cores=1)
+        result = GlobalScheduler(
+            cfg, rng=np.random.default_rng(0), queue_capacity=2
+        ).run(jobs)
+        assert any(r.drop_stage == "queue-overflow" for r in result.records)
+
+    def test_more_cores_do_not_reduce_cache_misses(self, small_config, small_workload):
+        # The Fig. 19 mechanism: wider scatter means colder caches.
+        mean_penalty = {}
+        for cores in (8, 16):
+            cfg = CRanConfig(transport_latency_us=500.0, num_cores=cores)
+            result = GlobalScheduler(cfg, rng=np.random.default_rng(1)).run(small_workload)
+            penalties = [r.cache_penalty_us for r in result.records]
+            mean_penalty[cores] = float(np.mean(penalties))
+        assert mean_penalty[16] >= mean_penalty[8]

@@ -1,0 +1,152 @@
+"""Property tests for Algorithm 1 (the migration planner)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sched.migration import MigrationDecision, plan_migration
+
+# Core ids are unique: the caller (RT-OPEX) enumerates distinct cores.
+windows = st.lists(
+    st.tuples(st.integers(0, 31), st.floats(0.0, 5000.0, allow_nan=False)),
+    min_size=0,
+    max_size=8,
+    unique_by=lambda item: item[0],
+)
+
+
+class TestAlgorithmOne:
+    def test_no_subtasks(self):
+        decision = plan_migration(0, 100.0, 20.0, [(1, 1000.0)])
+        assert decision.migrated_subtasks == 0
+        assert decision.local_subtasks == 0
+
+    def test_single_subtask_never_migrates(self):
+        # The while loop requires S > 1: the last subtask stays local.
+        decision = plan_migration(1, 100.0, 20.0, [(1, 10_000.0)])
+        assert decision.migrated_subtasks == 0
+
+    def test_no_idle_cores(self):
+        decision = plan_migration(6, 100.0, 20.0, [])
+        assert decision.migrated_subtasks == 0
+        assert decision.local_subtasks == 6
+
+    def test_r1_window_capacity(self):
+        # fck = 230 with tp+delta = 120 fits exactly one subtask.
+        decision = plan_migration(6, 100.0, 20.0, [(0, 230.0)])
+        assert decision.assignments == ((0, 1),)
+
+    def test_r3_half_limit_single_core(self):
+        # One huge window: at most floor(S/2) subtasks may leave.
+        decision = plan_migration(6, 100.0, 20.0, [(0, 100_000.0)])
+        assert decision.assignments == ((0, 3),)
+        assert decision.local_subtasks == 3
+
+    def test_r2_keeps_local_at_least_maxoff(self):
+        # Two big windows: after (0 -> 3), R2 allows none further
+        # because S - noff must stay >= maxoff = 3.
+        decision = plan_migration(6, 100.0, 20.0, [(0, 100_000.0), (1, 100_000.0)])
+        assert decision.assignments == ((0, 3),)
+
+    def test_spreads_over_small_windows(self):
+        # Four windows of one subtask each.
+        windows = [(c, 130.0) for c in range(4)]
+        decision = plan_migration(6, 100.0, 20.0, windows)
+        assert decision.assignments == ((0, 1), (1, 1), (2, 1), (3, 1))
+        assert decision.local_subtasks == 2
+
+    def test_paper_example_fft(self):
+        # FFT at N = 2: two subtasks, one may migrate.
+        decision = plan_migration(2, 54.0, 20.0, [(0, 1000.0)])
+        assert decision.assignments == ((0, 1),)
+        assert decision.local_subtasks == 1
+
+    def test_zero_cost_subtasks_not_migrated(self):
+        decision = plan_migration(5, 0.0, 20.0, [(0, 1000.0)])
+        assert decision.migrated_subtasks == 0
+
+    def test_zero_free_time_skipped(self):
+        decision = plan_migration(6, 100.0, 20.0, [(0, 0.0), (1, 130.0)])
+        assert decision.assignments == ((1, 1),)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            plan_migration(-1, 100.0, 20.0, [])
+        with pytest.raises(ValueError):
+            plan_migration(2, 100.0, -1.0, [])
+
+    # ---------------- property-based invariants ----------------
+
+    @given(st.integers(0, 64), st.floats(0.1, 1000.0), st.floats(0.0, 100.0), windows)
+    @settings(max_examples=300, deadline=None)
+    def test_conservation(self, p, tp, delta, free):
+        decision = plan_migration(p, tp, delta, free)
+        assert decision.local_subtasks + decision.migrated_subtasks == p
+
+    @given(st.integers(0, 64), st.floats(0.1, 1000.0), st.floats(0.0, 100.0), windows)
+    @settings(max_examples=300, deadline=None)
+    def test_r1_never_violated(self, p, tp, delta, free):
+        decision = plan_migration(p, tp, delta, free)
+        budgets = dict(free)
+        for core, count in decision.assignments:
+            assert count <= math.floor(budgets[core] / (tp + delta))
+
+    @given(st.integers(0, 64), st.floats(0.1, 1000.0), st.floats(0.0, 100.0), windows)
+    @settings(max_examples=300, deadline=None)
+    def test_local_dominates_every_batch(self, p, tp, delta, free):
+        # The combined effect of R2 + R3: no helper core ever holds more
+        # subtasks than the local core keeps (the dominance guarantee).
+        decision = plan_migration(p, tp, delta, free)
+        for _, count in decision.assignments:
+            assert decision.local_subtasks >= count
+
+    @given(st.integers(2, 64), st.floats(0.1, 1000.0), st.floats(0.0, 100.0), windows)
+    @settings(max_examples=300, deadline=None)
+    def test_at_least_one_stays_local(self, p, tp, delta, free):
+        decision = plan_migration(p, tp, delta, free)
+        assert decision.local_subtasks >= 1
+
+    @given(st.integers(0, 64), st.floats(0.1, 1000.0), st.floats(0.0, 100.0), windows)
+    @settings(max_examples=300, deadline=None)
+    def test_assignments_positive_and_unique_cores(self, p, tp, delta, free):
+        decision = plan_migration(p, tp, delta, free)
+        cores = [core for core, _ in decision.assignments]
+        assert len(cores) == len(set(cores)) or len(cores) == 0
+        assert all(count > 0 for _, count in decision.assignments)
+
+    @given(st.integers(0, 64), st.floats(0.1, 1000.0), st.floats(0.0, 100.0))
+    @settings(max_examples=200, deadline=None)
+    def test_larger_overhead_never_migrates_more_single_core(self, p, tp, delta):
+        # Per core, a larger delta can only shrink limoff (R1).  Note the
+        # *multi-core* total is NOT monotone in delta: R2's maxoff
+        # coupling means a smaller first batch can unlock a second core
+        # (see test_delta_nonmonotonicity_is_real) — a genuine property
+        # of the paper's greedy algorithm, not a bug.
+        low = plan_migration(p, tp, delta, [(0, 800.0)]).migrated_subtasks
+        high = plan_migration(p, tp, delta + 30.0, [(0, 800.0)]).migrated_subtasks
+        assert high <= low
+
+    def test_delta_nonmonotonicity_is_real(self):
+        # Found by hypothesis: with 32 subtasks of 1 us, a *larger*
+        # overhead migrates more in total because the first core takes a
+        # smaller batch (maxoff drops), letting R2 admit the second core.
+        free = [(0, 765.0), (1, 102.0)]
+        low = plan_migration(32, 1.0, 5.0, free)
+        high = plan_migration(32, 1.0, 50.0, free)
+        assert low.migrated_subtasks == 16  # one core, R3-capped
+        assert high.migrated_subtasks == 17  # 15 + 2 across two cores
+
+    @given(st.integers(0, 64), st.floats(0.1, 1000.0), st.floats(0.0, 100.0), windows)
+    @settings(max_examples=200, deadline=None)
+    def test_deterministic(self, p, tp, delta, free):
+        first = plan_migration(p, tp, delta, free)
+        second = plan_migration(p, tp, delta, free)
+        assert first == second
+
+
+class TestDecision:
+    def test_helper_properties(self):
+        decision = MigrationDecision(assignments=((0, 2), (3, 1)), local_subtasks=3)
+        assert decision.migrated_subtasks == 3
+        assert decision.num_targets == 2

@@ -1,0 +1,97 @@
+"""Tests for the alternative migration planners (work-stealing ablation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sched import CRanConfig, RtOpexScheduler, build_workload
+from repro.sched.migration import plan_migrate_all, plan_migration, plan_steal_half
+
+windows = st.lists(
+    st.tuples(st.integers(0, 15), st.floats(0.0, 5000.0, allow_nan=False)),
+    min_size=0,
+    max_size=6,
+    unique_by=lambda item: item[0],
+)
+
+
+class TestStealHalf:
+    def test_single_core_takes_half(self):
+        decision = plan_steal_half(6, 100.0, 20.0, [(0, 100_000.0)])
+        assert decision.assignments == ((0, 3),)
+
+    def test_second_core_takes_half_of_remainder(self):
+        decision = plan_steal_half(8, 100.0, 20.0, [(0, 1e6), (1, 1e6)])
+        assert decision.assignments == ((0, 4), (1, 2))
+        assert decision.local_subtasks == 2
+
+    def test_respects_r1(self):
+        decision = plan_steal_half(8, 100.0, 20.0, [(0, 230.0)])
+        assert decision.assignments == ((0, 1),)
+
+    @given(st.integers(0, 64), st.floats(0.1, 500.0), st.floats(0.0, 60.0), windows)
+    @settings(max_examples=200, deadline=None)
+    def test_conservation_and_bounds(self, p, tp, delta, free):
+        decision = plan_steal_half(p, tp, delta, free)
+        assert decision.local_subtasks + decision.migrated_subtasks == p
+        if p >= 1:
+            assert decision.local_subtasks >= 1
+
+
+class TestMigrateAll:
+    def test_ships_everything_but_one(self):
+        decision = plan_migrate_all(6, 100.0, 20.0, [(0, 1e6)])
+        assert decision.assignments == ((0, 5),)
+        assert decision.local_subtasks == 1
+
+    def test_can_overload_a_single_helper(self):
+        # The pathology R2/R3 prevent: one helper holds more than local.
+        decision = plan_migrate_all(6, 100.0, 20.0, [(0, 1e6)])
+        assert max(c for _, c in decision.assignments) > decision.local_subtasks
+
+    @given(st.integers(0, 64), st.floats(0.1, 500.0), st.floats(0.0, 60.0), windows)
+    @settings(max_examples=200, deadline=None)
+    def test_conservation(self, p, tp, delta, free):
+        decision = plan_migrate_all(p, tp, delta, free)
+        assert decision.local_subtasks + decision.migrated_subtasks == p
+
+    @given(st.integers(1, 64), st.floats(0.1, 500.0), st.floats(0.0, 60.0), windows)
+    @settings(max_examples=200, deadline=None)
+    def test_ships_at_least_as_much_as_alg1(self, p, tp, delta, free):
+        guarded = plan_migration(p, tp, delta, free)
+        greedy = plan_migrate_all(p, tp, delta, free)
+        assert greedy.migrated_subtasks >= guarded.migrated_subtasks
+
+
+class TestPlannerEndToEnd:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        cfg = CRanConfig(transport_latency_us=600.0)
+        jobs = build_workload(cfg, 800, seed=13)
+        return cfg, jobs
+
+    @pytest.mark.parametrize("planner", [plan_steal_half, plan_migrate_all])
+    def test_alternative_planners_run_clean(self, setup, planner):
+        cfg, jobs = setup
+        result = RtOpexScheduler(
+            cfg, rng=np.random.default_rng(0), planner=planner
+        ).run(jobs)
+        assert len(result.records) == len(jobs)
+        for r in result.records:
+            assert r.finish_us <= r.deadline_us + 1e-6
+
+    def test_alg1_not_worse_than_alternatives(self, setup):
+        cfg, jobs = setup
+        misses = {}
+        for name, planner in (
+            ("alg1", None),
+            ("steal", plan_steal_half),
+            ("all", plan_migrate_all),
+        ):
+            kwargs = {} if planner is None else {"planner": planner}
+            result = RtOpexScheduler(
+                cfg, rng=np.random.default_rng(0), **kwargs
+            ).run(jobs)
+            misses[name] = result.miss_count()
+        assert misses["alg1"] <= misses["steal"]
+        assert misses["alg1"] <= misses["all"]

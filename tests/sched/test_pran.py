@@ -1,0 +1,64 @@
+"""Tests for the PRAN-style plan-ahead scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.sched import CRanConfig, PranScheduler, run_scheduler
+from repro.timing.iterations import IterationModel
+
+from tests.helpers import make_job
+
+
+def run_pran(jobs, rtt=500.0, **kwargs):
+    cfg = CRanConfig(transport_latency_us=rtt)
+    return PranScheduler(cfg, rng=np.random.default_rng(0), **kwargs).run(jobs)
+
+
+class TestPran:
+    def test_light_load_no_misses(self):
+        jobs = [make_job(b, j, 5, [1]) for b in range(4) for j in range(5)]
+        assert run_pran(jobs).miss_rate() == 0.0
+
+    def test_all_subframes_accounted(self, small_config, small_workload):
+        result = run_scheduler("pran", small_config, small_workload)
+        assert len(result.records) == len(small_workload)
+        assert len({(r.bs_id, r.index) for r in result.records}) == len(small_workload)
+
+    def test_parallelism_beats_serial_on_lone_heavy(self):
+        # A single heavy subframe with an idle pool decodes in parallel
+        # and meets a deadline the serial baseline would miss.
+        jobs = [make_job(0, 0, 27, [4])]
+        result = run_pran(jobs)
+        record = result.records[0]
+        assert not record.missed
+        assert record.processing_time_us < jobs[0].serial_time_us
+
+    def test_misprediction_hurts(self):
+        # The planner expects E[L]; a channel surprise (every block at
+        # Lm on every cell) overruns the plan with no runtime fix.
+        surprise = [make_job(b, j, 27, [4]) for b in range(4) for j in range(6)]
+        result = run_pran(surprise)
+        assert result.miss_rate() > 0.3
+
+    def test_worse_than_rtopex_on_trace(self, small_config, small_workload):
+        pran = run_scheduler("pran", small_config, small_workload)
+        opex = run_scheduler("rt-opex", small_config, small_workload)
+        assert opex.miss_count() <= pran.miss_count()
+
+    def test_deterministic(self, small_config, small_workload):
+        a = run_scheduler("pran", small_config, small_workload, seed=4)
+        b = run_scheduler("pran", small_config, small_workload, seed=4)
+        assert [r.finish_us for r in a.records] == [r.finish_us for r in b.records]
+
+    def test_finish_capped_at_deadline(self, small_config, small_workload):
+        result = run_scheduler("pran", small_config, small_workload)
+        for r in result.records:
+            assert r.finish_us <= r.deadline_us + 1e-6
+
+    def test_custom_iteration_model(self):
+        # A pessimistic planner (expects Lm everywhere) plans larger
+        # shares but still schedules everything.
+        jobs = [make_job(b, j, 20, [2]) for b in range(4) for j in range(3)]
+        pessimistic = IterationModel(effort_offset=100.0)  # margin always << 0
+        result = run_pran(jobs, iteration_model=pessimistic)
+        assert len(result.records) == len(jobs)

@@ -1,0 +1,162 @@
+"""Tests for the RT-OPEX scheduler: migration, preemption, recovery."""
+
+import numpy as np
+import pytest
+
+from repro.sched import CRanConfig, PartitionedScheduler, RtOpexScheduler
+from repro.timing.platform import PlatformNoiseModel
+
+from tests.helpers import make_job
+
+
+def run_opex(jobs, rtt=500.0, seed=0, **kwargs):
+    cfg = CRanConfig(transport_latency_us=rtt)
+    return RtOpexScheduler(cfg, rng=np.random.default_rng(seed), **kwargs).run(jobs)
+
+
+QUIET = PlatformNoiseModel(base_mean_us=1.0, spike_probability=0.0, tail_probability=0.0)
+
+
+class TestMigrationBehaviour:
+    def test_heavy_subframe_rescued_by_migration(self):
+        # MCS 27 at L=4 (~2.04 ms serial) misses Tmax = 1.5 ms under
+        # partitioned scheduling but survives under RT-OPEX thanks to
+        # idle cores on the other basestations.
+        jobs = [make_job(0, 0, 27, [4])] + [make_job(b, 0, 0, [1]) for b in (1, 2, 3)]
+        cfg = CRanConfig(transport_latency_us=500.0)
+        part = PartitionedScheduler(cfg).run(jobs)
+        opex = run_opex(jobs, remote_noise=QUIET)
+        heavy_part = [r for r in part.records if r.mcs == 27][0]
+        heavy_opex = [r for r in opex.records if r.mcs == 27][0]
+        assert heavy_part.missed
+        assert not heavy_opex.missed
+        assert heavy_opex.migrated_subtasks > 0
+
+    def test_saturated_node_cannot_be_rescued(self):
+        # Every basestation heavy on every subframe: there are no gaps
+        # to harvest, so migration cannot conjure capacity and RT-OPEX
+        # misses (nearly) everything, like the partitioned baseline.
+        # (One subframe per millisecond still slips through by racing
+        # into the gaps that deadline-terminated neighbours leave.)
+        jobs = [make_job(b, j, 27, [4]) for b in range(4) for j in range(8)]
+        opex = run_opex(jobs, remote_noise=QUIET)
+        assert opex.miss_rate() > 0.6
+        decode_moves = sum(
+            m.num_subtasks for r in opex.records for m in r.migrations if m.task == "decode"
+        )
+        total_subtasks = sum(len(r.iterations) for r in opex.records)
+        assert decode_moves < 0.25 * total_subtasks
+
+    def test_migration_reduces_processing_time(self):
+        heavy = make_job(0, 0, 27, [4], rtt=400.0)
+        jobs = [heavy] + [make_job(b, 0, 0, [1], rtt=400.0) for b in (1, 2, 3)]
+        opex = run_opex(jobs, rtt=400.0, remote_noise=QUIET)
+        t_opex = [r for r in opex.records if r.mcs == 27][0].processing_time_us
+        # Serial execution would take ~2.04 ms; three migrated code
+        # blocks shave off >500 us.
+        assert t_opex < heavy.serial_time_us - 500.0
+
+    def test_fft_migration_ubiquitous(self, small_config, small_workload):
+        opex = RtOpexScheduler(small_config, rng=np.random.default_rng(0)).run(small_workload)
+        assert opex.migration_fraction("fft") > 0.75
+
+    def test_disabling_migration_recovers_partitioned(self, small_config, small_workload):
+        opex = RtOpexScheduler(
+            small_config,
+            rng=np.random.default_rng(0),
+            migrate_fft=False,
+            migrate_decode=False,
+        ).run(small_workload)
+        part = PartitionedScheduler(small_config).run(small_workload)
+        assert opex.miss_count() == part.miss_count()
+        assert all(not r.migrations for r in opex.records)
+
+    def test_never_worse_than_partitioned(self, small_config, small_workload):
+        # The paper's core guarantee, at the aggregate level.
+        part = PartitionedScheduler(small_config).run(small_workload)
+        opex = RtOpexScheduler(small_config, rng=np.random.default_rng(0)).run(small_workload)
+        assert opex.miss_count() <= part.miss_count()
+
+    def test_order_of_magnitude_improvement(self, small_config, small_workload):
+        # Fig. 15's headline at RTT/2 = 500 us.
+        part = PartitionedScheduler(small_config).run(small_workload)
+        opex = RtOpexScheduler(small_config, rng=np.random.default_rng(0)).run(small_workload)
+        if part.miss_count() >= 5:
+            assert opex.miss_count() <= part.miss_count() / 5
+
+
+class TestPreemptionAndRecovery:
+    def test_helper_always_starts_its_own_subframe_on_time(self):
+        # A migrated batch never delays the helper core's own work.
+        jobs = []
+        for j in range(6):
+            jobs.append(make_job(0, j, 27, [4]))  # heavy donor
+            jobs.append(make_job(1, j, 13, [2]))  # helper BS
+            jobs.append(make_job(2, j, 13, [2]))
+            jobs.append(make_job(3, j, 13, [2]))
+        opex = run_opex(jobs, rtt=500.0)
+        for r in opex.records:
+            assert r.queue_delay_us == 0.0
+
+    def test_recovery_on_noisy_helpers(self):
+        # Extreme remote noise forces preemptions; recovery must keep
+        # the result correct (recorded) and the run must complete.
+        noisy = PlatformNoiseModel(
+            base_mean_us=300.0, base_shape=1.0, spike_probability=0.5,
+            spike_low_us=200.0, spike_high_us=600.0,
+        )
+        jobs = [make_job(0, j, 27, [4]) for j in range(4)]
+        jobs += [make_job(b, j, 5, [1]) for b in (1, 2, 3) for j in range(4)]
+        opex = run_opex(jobs, remote_noise=noisy)
+        recovered = sum(
+            m.recovered_subtasks for r in opex.records for m in r.migrations
+        )
+        assert recovered > 0
+        assert len(opex.records) == len(jobs)
+
+    def test_all_subframes_accounted_once(self, small_config, small_workload):
+        opex = RtOpexScheduler(small_config, rng=np.random.default_rng(0)).run(small_workload)
+        assert len(opex.records) == len(small_workload)
+        keys = {(r.bs_id, r.index) for r in opex.records}
+        assert len(keys) == len(small_workload)
+
+    def test_finish_never_exceeds_deadline(self, small_config, small_workload):
+        opex = RtOpexScheduler(small_config, rng=np.random.default_rng(0)).run(small_workload)
+        for r in opex.records:
+            assert r.finish_us <= r.deadline_us + 1e-6
+
+
+class TestOverheadSensitivity:
+    def _heavy_mix(self):
+        jobs = []
+        for j in range(8):
+            jobs.append(make_job(0, j, 26, [3]))
+            for b in (1, 2, 3):
+                jobs.append(make_job(b, j, 8, [1]))
+        return jobs
+
+    def test_large_overhead_shrinks_migration(self):
+        jobs = self._heavy_mix()
+        cheap = run_opex(jobs, batch_overhead_us=5.0, remote_noise=QUIET)
+        costly = run_opex(jobs, batch_overhead_us=400.0, remote_noise=QUIET)
+        assert (
+            sum(m.num_subtasks for r in costly.records for m in r.migrations)
+            <= sum(m.num_subtasks for r in cheap.records for m in r.migrations)
+        )
+
+    def test_gap_accounting(self):
+        jobs = [make_job(0, 0, 5, [1])]
+        opex = run_opex(jobs, remote_noise=QUIET)
+        record = opex.records[0]
+        assert record.gap_us == pytest.approx(2500.0 - record.finish_us)
+
+    def test_slack_check_drop_recorded(self):
+        jobs = [make_job(0, 0, 27, [4], rtt=700.0, noise=900.0)]
+        opex = run_opex(jobs, rtt=700.0)
+        record = opex.records[0]
+        assert record.missed
+
+    def test_deterministic_given_seed(self, small_config, small_workload):
+        a = RtOpexScheduler(small_config, rng=np.random.default_rng(5)).run(small_workload)
+        b = RtOpexScheduler(small_config, rng=np.random.default_rng(5)).run(small_workload)
+        assert [r.finish_us for r in a.records] == [r.finish_us for r in b.records]

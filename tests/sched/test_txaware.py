@@ -1,0 +1,92 @@
+"""Tests for co-scheduling downlink Tx jobs with the uplink workload."""
+
+import numpy as np
+import pytest
+
+from repro.sched import CRanConfig, PartitionedScheduler, RtOpexScheduler, build_workload
+from repro.sched.base import assigned_core_for, partitioned_core_for
+from repro.workload.downlink import build_tx_jobs
+
+from tests.helpers import make_job
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return CRanConfig(transport_latency_us=550.0)
+
+
+@pytest.fixture(scope="module")
+def mixed_jobs(cfg):
+    rx = build_workload(cfg, 400, seed=31)
+    tx = build_tx_jobs(cfg, 400, seed=31)
+    return list(rx) + list(tx)
+
+
+class TestTxJobConstruction:
+    def test_one_tx_job_per_bs_subframe(self, cfg):
+        jobs = build_tx_jobs(cfg, 100, seed=1)
+        assert len(jobs) == 4 * 99  # subframe 0 has no preceding slot
+
+    def test_tx_arrival_one_subframe_early(self, cfg):
+        jobs = build_tx_jobs(cfg, 10, seed=1)
+        for job in jobs:
+            assert job.arrival_us == (job.subframe.index - 1) * 1000.0
+
+    def test_tx_deadline_before_transmission(self, cfg):
+        jobs = build_tx_jobs(cfg, 10, seed=1)
+        for job in jobs:
+            expected = job.subframe.index * 1000.0 - cfg.transport_latency_us
+            assert job.deadline_us == expected
+
+    def test_tx_placed_on_opposite_slot(self, cfg):
+        jobs = build_tx_jobs(cfg, 10, seed=1)
+        for job in jobs:
+            core = assigned_core_for(job, cfg.cores_per_bs)
+            rx_core = partitioned_core_for(job.subframe.bs_id, job.subframe.index, 2)
+            assert core != rx_core
+            assert core // 2 == job.subframe.bs_id  # same basestation pair
+
+    def test_loads_shape_validated(self, cfg):
+        with pytest.raises(ValueError):
+            build_tx_jobs(cfg, 10, loads=np.ones((2, 10)))
+
+
+class TestCoScheduling:
+    def test_partitioned_handles_mixture(self, cfg, mixed_jobs):
+        result = PartitionedScheduler(cfg).run(mixed_jobs)
+        assert len(result.records) == len(mixed_jobs)
+
+    def test_rtopex_handles_mixture(self, cfg, mixed_jobs):
+        result = RtOpexScheduler(cfg, rng=np.random.default_rng(0)).run(mixed_jobs)
+        assert len(result.records) == len(mixed_jobs)
+
+    def test_tx_jobs_mostly_meet_their_budget(self, cfg, mixed_jobs):
+        result = PartitionedScheduler(cfg).run(mixed_jobs)
+        tx_records = [r for r in result.records if len(r.iterations) == 0]
+        misses = sum(1 for r in tx_records if r.missed)
+        assert misses / len(tx_records) < 0.05
+
+    def test_rx_misses_not_inflated_under_partitioned(self, cfg):
+        # The offline schedule interleaves Tx into the pre-arrival slot,
+        # so uplink behaviour is unchanged.
+        rx = build_workload(cfg, 400, seed=31)
+        tx = build_tx_jobs(cfg, 400, seed=31)
+        alone = PartitionedScheduler(cfg).run(rx)
+        mixed = PartitionedScheduler(cfg).run(list(rx) + list(tx))
+        rx_mixed = [r for r in mixed.records if len(r.iterations) > 0]
+        assert sum(r.missed or r.dropped for r in rx_mixed) == alone.miss_count()
+
+    def test_tx_load_erodes_migration_headroom(self, cfg):
+        rx = build_workload(cfg, 400, seed=31)
+        tx = build_tx_jobs(cfg, 400, seed=31)
+        alone = RtOpexScheduler(cfg, rng=np.random.default_rng(0)).run(rx)
+        mixed = RtOpexScheduler(cfg, rng=np.random.default_rng(0)).run(list(rx) + list(tx))
+        assert (
+            mixed.migration_counts()["decode"] < alone.migration_counts()["decode"]
+        )
+
+    def test_rtopex_never_migrates_tx_tasks(self, cfg, mixed_jobs):
+        result = RtOpexScheduler(cfg, rng=np.random.default_rng(0)).run(mixed_jobs)
+        for r in result.records:
+            if len(r.iterations) == 0:  # a Tx record
+                assert not r.migrations

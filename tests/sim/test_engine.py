@@ -1,0 +1,122 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(30.0, lambda: log.append("c"))
+        sim.schedule(10.0, lambda: log.append("a"))
+        sim.schedule(20.0, lambda: log.append("b"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(5.0, lambda: times.append(sim.now))
+        sim.schedule(15.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [5.0, 15.0]
+
+    def test_ties_broken_by_priority_then_seq(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(10.0, lambda: log.append("late"), priority=5)
+        sim.schedule(10.0, lambda: log.append("early"), priority=0)
+        sim.schedule(10.0, lambda: log.append("early2"), priority=0)
+        sim.run()
+        assert log == ["early", "early2", "late"]
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: sim.schedule(5.0, lambda: None))
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_schedule_in_relative(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(10.0, lambda: sim.schedule_in(5.0, lambda: log.append(sim.now)))
+        sim.run()
+        assert log == [15.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule_in(-1.0, lambda: None)
+
+    def test_cancel(self):
+        sim = Simulator()
+        log = []
+        event = sim.schedule(10.0, lambda: log.append("x"))
+        event.cancel()
+        sim.run()
+        assert log == []
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(10.0, lambda: log.append("a"))
+        sim.schedule(100.0, lambda: log.append("b"))
+        sim.run(until=50.0)
+        assert log == ["a"]
+        assert sim.now == 50.0
+        sim.run()
+        assert log == ["a", "b"]
+
+    def test_run_until_advances_clock_on_empty_queue(self):
+        sim = Simulator()
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_callbacks_can_schedule_more(self):
+        sim = Simulator()
+        log = []
+
+        def chain(n):
+            log.append(n)
+            if n < 5:
+                sim.schedule_in(1.0, lambda: chain(n + 1))
+
+        sim.schedule(0.0, lambda: chain(0))
+        sim.run()
+        assert log == [0, 1, 2, 3, 4, 5]
+        assert sim.now == 5.0
+
+    def test_pending_counts_live_events(self):
+        sim = Simulator()
+        e1 = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending() == 2
+        e1.cancel()
+        assert sim.pending() == 1
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def bad():
+            try:
+                sim.run()
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        sim.schedule(1.0, bad)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_deterministic_across_runs(self):
+        def run_once():
+            sim = Simulator()
+            log = []
+            for i in range(100):
+                sim.schedule((i * 7) % 13, lambda i=i: log.append(i))
+            sim.run()
+            return log
+
+        assert run_once() == run_once()

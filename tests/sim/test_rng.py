@@ -1,0 +1,47 @@
+"""Tests for the named RNG streams."""
+
+from repro.sim.rng import RngStreams
+
+
+class TestRngStreams:
+    def test_same_name_same_stream_object(self):
+        streams = RngStreams(1)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_reproducible_across_instances(self):
+        a = RngStreams(7).stream("noise").random(10)
+        b = RngStreams(7).stream("noise").random(10)
+        assert (a == b).all()
+
+    def test_different_names_independent(self):
+        streams = RngStreams(7)
+        a = streams.stream("a").random(10)
+        b = streams.stream("b").random(10)
+        assert not (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).stream("x").random(10)
+        b = RngStreams(2).stream("x").random(10)
+        assert not (a == b).all()
+
+    def test_getitem_alias(self):
+        streams = RngStreams(3)
+        assert streams["y"] is streams.stream("y")
+
+    def test_consumption_isolation(self):
+        # Draining one stream must not perturb another.
+        ref = RngStreams(5).stream("b").random(5)
+        streams = RngStreams(5)
+        streams.stream("a").random(10_000)
+        assert (streams.stream("b").random(5) == ref).all()
+
+    def test_fork_changes_streams(self):
+        base = RngStreams(11)
+        fork = base.fork(0)
+        assert fork.seed != base.seed
+        a = base.stream("z").random(5)
+        b = fork.stream("z").random(5)
+        assert not (a == b).all()
+
+    def test_fork_deterministic(self):
+        assert RngStreams(11).fork(3).seed == RngStreams(11).fork(3).seed

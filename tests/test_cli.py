@@ -1,0 +1,33 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig15" in out
+        assert "table1" in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "decode" in out
+        assert "finished in" in out
+
+    def test_scale_and_seed_flags(self, capsys):
+        assert main(["table1", "--scale", "0.01", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "GPP (ours)" in out
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["fig99"])
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fig15"])
+        assert args.scale == 0.2
+        assert args.experiment == "fig15"

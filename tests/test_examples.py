@@ -1,0 +1,51 @@
+"""Smoke tests: every example script must run clean at a small scale."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "400")
+        assert "rt-opex" in out
+        assert "miss rate" in out
+
+    def test_phy_loopback(self):
+        out = run_example("phy_loopback.py", "2")
+        assert "BLER" in out
+        assert "iteration" in out.lower()
+
+    def test_capacity_planning(self):
+        out = run_example("capacity_planning.py", "400")
+        assert "miss budget" in out
+
+    def test_heterogeneous_cells(self):
+        out = run_example("heterogeneous_cells.py", "400")
+        assert "macro" in out
+
+    def test_schedule_traces(self):
+        out = run_example("schedule_traces.py")
+        assert "Fig. 9-style" in out
+        assert "Fig. 11-style" in out
+        # RT-OPEX rescues the workload the partitioned trace misses.
+        assert "misses: 0 of 12" in out
+
+    def test_operator_workflow(self):
+        out = run_example("operator_workflow.py", "400")
+        assert "reload cleanly" in out

@@ -1,0 +1,78 @@
+"""Tests for the cache-affinity and migration-cost models."""
+
+import numpy as np
+import pytest
+
+from repro.timing.cache import CacheAffinityModel, MigrationCostModel
+
+
+class TestCacheAffinity:
+    def test_first_touch_is_cold(self, rng):
+        model = CacheAffinityModel()
+        assert model.penalty(0, 1, 0, rng) > 0
+
+    def test_repeat_same_bs_is_warm(self, rng):
+        model = CacheAffinityModel()
+        model.penalty(0, 1, 0, rng)
+        assert model.penalty(0, 1, 1, rng) == 0.0
+
+    def test_switching_bs_is_cold(self, rng):
+        model = CacheAffinityModel()
+        model.penalty(0, 1, 0, rng)
+        assert model.penalty(0, 2, 1, rng) > 0
+
+    def test_staleness_evicts(self, rng):
+        model = CacheAffinityModel(decay_subframes=3)
+        model.penalty(0, 1, 0, rng)
+        assert model.penalty(0, 1, 10, rng) > 0
+
+    def test_within_decay_window_warm(self, rng):
+        model = CacheAffinityModel(decay_subframes=3)
+        model.penalty(0, 1, 0, rng)
+        assert model.penalty(0, 1, 3, rng) == 0.0
+
+    def test_cores_independent(self, rng):
+        model = CacheAffinityModel()
+        model.penalty(0, 1, 0, rng)
+        assert model.penalty(1, 1, 0, rng) > 0  # different core still cold
+
+    def test_penalty_in_configured_range(self, rng):
+        model = CacheAffinityModel(cold_penalty_low_us=50.0, cold_penalty_high_us=60.0)
+        for i in range(50):
+            p = model.penalty(0, i + 10, i, rng)  # always a new BS
+            assert 50.0 <= p <= 60.0
+
+    def test_peek_is_warm(self, rng):
+        model = CacheAffinityModel()
+        model.penalty(3, 7, 0, rng)
+        assert model.peek_is_warm(3, 7)
+        assert not model.peek_is_warm(3, 8)
+
+    def test_reset(self, rng):
+        model = CacheAffinityModel()
+        model.penalty(0, 1, 0, rng)
+        model.reset()
+        assert model.penalty(0, 1, 1, rng) > 0  # cold again
+
+
+class TestMigrationCost:
+    def test_planning_cost_is_mean(self):
+        assert MigrationCostModel(mean_us=20.0).planning_cost() == 20.0
+
+    def test_draw_without_rng_is_deterministic(self):
+        model = MigrationCostModel(mean_us=18.0, jitter_us=5.0)
+        assert model.draw() == 18.0
+
+    def test_draw_with_rng_jitters_within_bounds(self, rng):
+        model = MigrationCostModel(mean_us=20.0, jitter_us=2.0)
+        draws = [model.draw(rng) for _ in range(200)]
+        assert all(18.0 <= d <= 22.0 for d in draws)
+        assert len(set(round(d, 6) for d in draws)) > 1
+
+    def test_zero_jitter(self, rng):
+        model = MigrationCostModel(mean_us=20.0, jitter_us=0.0)
+        assert model.draw(rng) == 20.0
+
+    def test_matches_paper_overhead(self):
+        # Paper sec. 4.4: ~18-20 us per migrated task.
+        assert 15.0 <= MigrationCostModel().mean_us <= 25.0

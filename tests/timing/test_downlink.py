@@ -1,0 +1,69 @@
+"""Tests for the downlink (Tx) timing model."""
+
+import pytest
+
+from repro.lte.subframe import UplinkGrant
+from repro.timing.downlink import (
+    DownlinkCoefficients,
+    DownlinkTimingModel,
+    build_tx_work,
+    tx_budget_us,
+)
+from repro.timing.model import LinearTimingModel
+
+
+@pytest.fixture
+def model():
+    return DownlinkTimingModel()
+
+
+class TestDownlinkModel:
+    def test_encode_cheaper_than_decode(self, model):
+        # The paper's premise: uplink is significantly more expensive.
+        uplink = LinearTimingModel()
+        for mcs in (0, 13, 27):
+            grant = UplinkGrant(mcs=mcs)
+            tx = model.total_time_for_grant(grant)
+            rx = uplink.total_time_for_grant(grant, 2)
+            assert tx < 0.5 * rx
+
+    def test_monotone_in_mcs(self, model):
+        times = [model.total_time_for_grant(UplinkGrant(mcs=m)) for m in range(28)]
+        assert times == sorted(times)
+
+    def test_scales_with_antennas(self, model):
+        t1 = model.total_time(1, 6, 3.7)
+        t2 = model.total_time(2, 6, 3.7)
+        assert t2 - t1 == pytest.approx(model.coefficients.v1)
+
+    def test_fits_tx_budget_at_typical_rtt(self, model):
+        # Every encode must fit 1 ms - RTT/2 at the sweep's worst point.
+        worst = model.total_time_for_grant(UplinkGrant(mcs=27))
+        assert worst < tx_budget_us(550.0)
+
+    def test_custom_coefficients(self):
+        model = DownlinkTimingModel(DownlinkCoefficients(v0=1, v1=2, v2=3, v3=4))
+        assert model.total_time(2, 6, 1.0) == pytest.approx(1 + 4 + 18 + 4)
+
+
+class TestTxWork:
+    def test_single_serial_task(self, model):
+        work = build_tx_work(model, UplinkGrant(mcs=13))
+        assert len(work.tasks) == 1
+        assert work.tasks[0].num_subtasks == 0
+        assert work.iterations == ()
+
+    def test_noise_folded_in(self, model):
+        grant = UplinkGrant(mcs=13)
+        quiet = build_tx_work(model, grant).total_serial_us
+        noisy = build_tx_work(model, grant, noise_us=50.0).total_serial_us
+        assert noisy - quiet == pytest.approx(50.0)
+
+
+class TestTxBudget:
+    def test_budget_formula(self):
+        assert tx_budget_us(400.0) == 600.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            tx_budget_us(-1.0)

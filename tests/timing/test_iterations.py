@@ -1,0 +1,116 @@
+"""Tests for the turbo iteration-count model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.timing.iterations import IterationModel
+
+
+@pytest.fixture
+def model():
+    return IterationModel(max_iterations=4)
+
+
+class TestMeanIterations:
+    def test_bounds(self, model):
+        for mcs in range(28):
+            for snr in (0.0, 15.0, 30.0):
+                mean = model.mean_iterations(mcs, snr)
+                assert 1.0 <= mean <= 4.0
+
+    def test_monotone_in_snr(self, model):
+        for mcs in (5, 13, 27):
+            means = [model.mean_iterations(mcs, snr) for snr in (0, 10, 20, 30)]
+            assert all(a >= b for a, b in zip(means, means[1:]))
+
+    def test_monotone_in_mcs(self, model):
+        means = [model.mean_iterations(mcs, 30.0) for mcs in range(28)]
+        assert all(a <= b + 1e-9 for a, b in zip(means, means[1:]))
+
+    def test_low_mcs_high_snr_fast(self, model):
+        assert model.mean_iterations(5, 30.0) < 1.2
+
+    def test_top_mcs_iteration_hungry_at_30db(self, model):
+        # Paper sec. 4.3: high-MCS subframes often need 3-4 iterations
+        # even at the 30 dB evaluation SNR.
+        assert model.mean_iterations(27, 30.0) > 2.5
+
+    def test_fig3b_anchor_mid_mcs(self, model):
+        # Fig. 3(b): 20 dB -> 10 dB adds >50% processing time for mid
+        # MCS, i.e. a meaningful iteration increase.
+        at_20 = model.mean_iterations(16, 20.0)
+        at_10 = model.mean_iterations(16, 10.0)
+        assert at_10 > 1.4 * at_20
+
+
+class TestDraws:
+    def test_draw_bounds(self, model, rng):
+        draws = model.draw(20, 15.0, rng, num_blocks=50)
+        assert all(1 <= l <= 4 for l in draws)
+        assert len(draws) == 50
+
+    def test_draw_rejects_zero_blocks(self, model, rng):
+        with pytest.raises(ValueError):
+            model.draw(5, 20.0, rng, num_blocks=0)
+
+    def test_draw_mean_tracks_model_mean(self, model, rng):
+        draws = model.draw(24, 30.0, rng, num_blocks=5000)
+        assert np.mean(draws) == pytest.approx(model.mean_iterations(24, 30.0), abs=0.35)
+
+    def test_nondeterministic_at_fixed_snr(self, model, rng):
+        # Paper sec. 2.1: L is non-deterministic even for fixed SNR.
+        draws = model.draw(20, 25.0, rng, num_blocks=300)
+        assert len(set(draws)) > 1
+
+    def test_draw_array_matches_scalar_distribution(self, model):
+        rng1 = np.random.default_rng(0)
+        rng2 = np.random.default_rng(0)
+        mcs = np.full(4000, 22)
+        snr = np.full(4000, 30.0)
+        vec = model.draw_array(mcs, snr, rng1)
+        scalar = model.draw(22, 30.0, rng2, num_blocks=4000)
+        assert np.mean(vec) == pytest.approx(np.mean(scalar), abs=0.15)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 27), st.floats(0, 35), st.integers(0, 999))
+    def test_property_draws_in_range(self, mcs, snr, seed):
+        model = IterationModel(max_iterations=4)
+        rng = np.random.default_rng(seed)
+        draw = model.draw_subframe(mcs, snr, rng, num_blocks=3)
+        assert all(1 <= l <= 4 for l in draw.iterations)
+        assert len(draw.iterations) == 3
+
+    def test_subframe_failure_burns_full_budget(self, model):
+        rng = np.random.default_rng(1)
+        # At deeply negative margins decoding always fails and one block
+        # hits the iteration cap.
+        draw = model.draw_subframe(27, 0.0, rng, num_blocks=6)
+        assert not draw.crc_pass
+        assert max(draw.iterations) == 4
+
+    def test_success_probability_monotone(self, model):
+        probs = [model.success_probability(27, snr) for snr in (0, 10, 20, 30)]
+        assert all(a <= b for a, b in zip(probs, probs[1:]))
+        assert probs[-1] > 0.99
+
+    def test_draw_statistics_helpers(self, model):
+        rng = np.random.default_rng(2)
+        draw = model.draw_subframe(10, 30.0, rng, num_blocks=4)
+        assert draw.total == sum(draw.iterations)
+        assert draw.mean == pytest.approx(draw.total / 4)
+
+
+class TestCustomParameters:
+    def test_max_iterations_respected(self):
+        model = IterationModel(max_iterations=8)
+        rng = np.random.default_rng(3)
+        draws = model.draw(27, 0.0, rng, num_blocks=200)
+        assert max(draws) <= 8
+        assert max(draws) > 4  # low margin pushes toward the cap
+
+    def test_zero_spike_probability(self):
+        model = IterationModel(spike_probability=0.0, jitter_scale=1e-9)
+        rng = np.random.default_rng(4)
+        draws = model.draw(5, 30.0, rng, num_blocks=100)
+        assert set(draws) == {1}

@@ -1,0 +1,139 @@
+"""Tests for the Eq. (1) timing model and its regression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import W0_US, W1_US, W2_US, W3_US
+from repro.lte.subframe import UplinkGrant
+from repro.timing.model import (
+    FFT_PER_ANTENNA_US,
+    LinearTimingModel,
+    ModelCoefficients,
+    fit_linear_model,
+)
+
+
+@pytest.fixture
+def model():
+    return LinearTimingModel()
+
+
+class TestEq1:
+    def test_paper_anchor_mcs27_two_iterations(self, model):
+        # Fig. 3(a): ~1.4 ms at MCS 27 with two iterations, N = 2.
+        grant = UplinkGrant(mcs=27)
+        assert model.total_time_for_grant(grant, 2) == pytest.approx(1370, abs=30)
+
+    def test_paper_anchor_mcs0(self, model):
+        # Fig. 3(a): ~0.5 ms at MCS 0.
+        grant = UplinkGrant(mcs=0)
+        assert model.total_time_for_grant(grant, 2) == pytest.approx(500, abs=30)
+
+    def test_per_antenna_cost_is_w1(self, model):
+        t1 = model.total_time(1, 6, 3.7, 2)
+        t2 = model.total_time(2, 6, 3.7, 2)
+        assert t2 - t1 == pytest.approx(W1_US)
+
+    def test_per_iteration_cost_at_mcs27(self, model):
+        # Paper: each turbo iteration at MCS 27 adds ~345 us.
+        grant = UplinkGrant(mcs=27)
+        delta = model.total_time_for_grant(grant, 3) - model.total_time_for_grant(grant, 2)
+        assert delta == pytest.approx(345, abs=15)
+
+    @given(
+        st.integers(1, 4),
+        st.sampled_from([2, 4, 6]),
+        st.floats(0.1, 4.0),
+        st.integers(1, 4),
+    )
+    def test_monotone_in_all_arguments(self, n, k, d, l):
+        model = LinearTimingModel()
+        base = model.total_time(n, k, d, l)
+        assert model.total_time(n + 1, k, d, l) > base
+        assert model.total_time(n, k, d * 1.5, l) > base
+        assert model.total_time(n, k, d, l + 1) > base
+
+    def test_wcet_uses_max_iterations(self, model):
+        grant = UplinkGrant(mcs=20)
+        assert model.worst_case_time(grant, 4) == model.total_time_for_grant(grant, 4)
+        assert model.best_case_time(grant) == model.total_time_for_grant(grant, 1)
+
+
+class TestDecomposition:
+    def test_tasks_sum_to_eq1(self, model):
+        # The FFT/demod/decode split must re-sum to Eq. (1) exactly.
+        for mcs in (0, 13, 27):
+            grant = UplinkGrant(mcs=mcs, num_antennas=2)
+            l = 3
+            total = (
+                model.fft_task_time(2)
+                + model.demod_task_time(2, grant.modulation_order)
+                + model.decode_prologue_time(grant.modulation_order)
+                + model.decode_subtask_time(grant.subcarrier_load, l, grant.code_blocks)
+                * grant.code_blocks
+            )
+            assert total == pytest.approx(model.total_time_for_grant(grant, l), rel=1e-9)
+
+    def test_fft_matches_fig18_median(self, model):
+        # Fig. 18: the FFT task at N = 2 has a ~108 us median.
+        assert model.fft_task_time(2) == pytest.approx(108.0)
+        assert model.fft_subtask_time() == FFT_PER_ANTENNA_US
+
+    def test_decode_subtasks_split_evenly(self, model):
+        per_block = model.decode_subtask_time(3.77, 4, 6)
+        assert 6 * per_block == pytest.approx(W3_US * 3.77 * 4)
+
+    def test_decode_subtask_rejects_zero_blocks(self, model):
+        with pytest.raises(ValueError):
+            model.decode_subtask_time(1.0, 2, 0)
+
+    def test_decode_task_time(self, model):
+        t = model.decode_task_time(3.77, 6, [2, 2, 2, 2, 2, 2])
+        expected = model.decode_prologue_time(6) + W3_US * 3.77 * 2
+        assert t == pytest.approx(expected)
+
+
+class TestRegression:
+    def _synthetic(self, n, rng, noise=0.0):
+        antennas = rng.choice([1, 2, 4], size=n)
+        q_m = rng.choice([2, 4, 6], size=n)
+        dl = rng.uniform(0.1, 15.0, size=n)
+        times = W0_US + W1_US * antennas + W2_US * q_m + W3_US * dl
+        if noise:
+            times = times + rng.normal(scale=noise, size=n)
+        return antennas, q_m, dl, times
+
+    def test_exact_recovery_noiseless(self, rng):
+        fit = fit_linear_model(*self._synthetic(500, rng))
+        assert fit.coefficients.w0 == pytest.approx(W0_US, abs=1e-6)
+        assert fit.coefficients.w1 == pytest.approx(W1_US, abs=1e-6)
+        assert fit.coefficients.w2 == pytest.approx(W2_US, abs=1e-6)
+        assert fit.coefficients.w3 == pytest.approx(W3_US, abs=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_recovery_close(self, rng):
+        fit = fit_linear_model(*self._synthetic(20_000, rng, noise=20.0))
+        assert fit.coefficients.w1 == pytest.approx(W1_US, rel=0.05)
+        assert fit.coefficients.w3 == pytest.approx(W3_US, rel=0.05)
+        assert fit.r_squared > 0.98
+
+    def test_rejects_mismatched_lengths(self, rng):
+        a, k, dl, t = self._synthetic(10, rng)
+        with pytest.raises(ValueError):
+            fit_linear_model(a[:5], k, dl, t)
+
+    def test_rejects_degenerate_design(self):
+        n = 10
+        ones = np.ones(n)
+        with pytest.raises(ValueError):
+            fit_linear_model(ones, ones, ones, ones * 100)
+
+    def test_rejects_too_few_samples(self, rng):
+        a, k, dl, t = self._synthetic(3, rng)
+        with pytest.raises(ValueError):
+            fit_linear_model(a, k, dl, t)
+
+    def test_custom_coefficients(self):
+        model = LinearTimingModel(ModelCoefficients(10.0, 100.0, 50.0, 80.0))
+        assert model.total_time(1, 2, 1.0, 1) == pytest.approx(10 + 100 + 100 + 80)

@@ -1,0 +1,64 @@
+"""Tests for the platform-noise and cyclictest models."""
+
+import numpy as np
+import pytest
+
+from repro.timing.platform import CyclictestEmulator, PlatformNoiseModel
+
+
+class TestPlatformNoise:
+    def test_nonnegative(self, rng):
+        noise = PlatformNoiseModel().draw(rng, 50_000)
+        assert (noise >= 0).all()
+
+    def test_order_statistics_match_paper(self, rng):
+        # Fig. 3(d): 99.9% of errors below 0.15 ms; maxima ~0.7 ms.
+        noise = PlatformNoiseModel().draw(rng, 500_000)
+        assert np.percentile(noise, 99.9) < 150.0
+        assert noise.max() < 800.0
+
+    def test_rare_long_tail_exists(self, rng):
+        # ~1 in 1e5 above a few hundred microseconds.
+        noise = PlatformNoiseModel().draw(rng, 1_000_000)
+        frac = np.mean(noise > 300.0)
+        assert 0 < frac < 1e-3
+
+    def test_mean_is_small(self, rng):
+        noise = PlatformNoiseModel().draw(rng, 100_000)
+        assert 5.0 < noise.mean() < 40.0
+
+    def test_draw_one(self, rng):
+        value = PlatformNoiseModel().draw_one(rng)
+        assert value >= 0.0
+
+    def test_quantile_helper(self, rng):
+        model = PlatformNoiseModel()
+        q50 = model.quantile(0.5, rng, samples=50_000)
+        q99 = model.quantile(0.99, rng, samples=50_000)
+        assert q50 < q99
+
+    def test_disabled_tails(self, rng):
+        model = PlatformNoiseModel(spike_probability=0.0, tail_probability=0.0)
+        noise = model.draw(rng, 200_000)
+        assert noise.max() < 200.0
+
+
+class TestCyclictest:
+    def test_mean_near_02ms(self, rng):
+        # Paper: mean latency ~0.2 ms under the hackbench load.
+        samples = CyclictestEmulator().run(rng, 100_000)
+        assert samples.mean() == pytest.approx(200.0, rel=0.05)
+
+    def test_excursions_above_04ms(self, rng):
+        samples = CyclictestEmulator().run(rng, 2_000_000)
+        assert (samples > 400.0).any()
+
+    def test_tail_rate_order(self, rng):
+        # ~1 in 1e5 above a few hundred microseconds.
+        samples = CyclictestEmulator().run(rng, 2_000_000)
+        frac = np.mean(samples > 450.0)
+        assert frac < 1e-4
+
+    def test_positive(self, rng):
+        samples = CyclictestEmulator().run(rng, 10_000)
+        assert (samples > 0).all()

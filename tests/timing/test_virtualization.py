@@ -1,0 +1,57 @@
+"""Tests for the virtualization platform profiles."""
+
+import pytest
+
+from repro.lte.subframe import UplinkGrant
+from repro.timing.virtualization import (
+    VirtualizationProfile,
+    container_profile,
+    native_profile,
+    standard_profiles,
+    vm_profile,
+)
+from repro.timing.platform import PlatformNoiseModel
+
+
+class TestProfiles:
+    def test_native_is_identity(self):
+        model = native_profile().scaled_timing_model()
+        grant = UplinkGrant(mcs=13)
+        from repro.timing.model import LinearTimingModel
+
+        assert model.total_time_for_grant(grant, 2) == pytest.approx(
+            LinearTimingModel().total_time_for_grant(grant, 2)
+        )
+
+    def test_overhead_ordering(self):
+        grant = UplinkGrant(mcs=20)
+        times = {
+            name: p.scaled_timing_model().total_time_for_grant(grant, 2)
+            for name, p in standard_profiles().items()
+        }
+        assert times["native"] < times["container"] < times["vm"]
+
+    def test_container_close_to_native(self):
+        # The cited result: containers are only slightly behind native.
+        assert container_profile().time_multiplier < 1.05
+
+    def test_vm_noise_heavier(self, rng):
+        native_noise = native_profile().noise.draw(rng, 100_000).mean()
+        vm_noise = vm_profile().noise.draw(rng, 100_000).mean()
+        assert vm_noise > native_noise
+
+    def test_scaling_preserves_linearity(self):
+        grant = UplinkGrant(mcs=27)
+        base = native_profile().scaled_timing_model()
+        vm = vm_profile().scaled_timing_model()
+        ratio = vm.total_time_for_grant(grant, 3) / base.total_time_for_grant(grant, 3)
+        assert ratio == pytest.approx(vm_profile().time_multiplier)
+
+    def test_faster_than_native_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualizationProfile(
+                name="magic", time_multiplier=0.9, noise=PlatformNoiseModel()
+            )
+
+    def test_standard_profiles_keys(self):
+        assert set(standard_profiles()) == {"native", "container", "vm"}

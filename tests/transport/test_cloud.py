@@ -1,0 +1,60 @@
+"""Tests for the cloud-network latency model (Fig. 6 anchors)."""
+
+import numpy as np
+import pytest
+
+from repro.transport.cloud import CloudNetworkModel
+from repro.transport.fronthaul import FronthaulModel
+
+
+class TestCloudModel:
+    @pytest.mark.parametrize("rate", [1.0, 10.0])
+    def test_mean_near_150us(self, rate, rng):
+        samples = CloudNetworkModel(rate_gbps=rate).measure(rng, 200_000)
+        assert samples.mean() == pytest.approx(150.0, rel=0.05)
+
+    @pytest.mark.parametrize("rate", [1.0, 10.0])
+    def test_tail_rate_matches_paper(self, rate, rng):
+        # ~1 in 1e4 packets above 0.25 ms.
+        samples = CloudNetworkModel(rate_gbps=rate).measure(rng, 1_000_000)
+        frac = np.mean(samples > 250.0)
+        assert 1e-5 < frac < 1e-3
+
+    def test_one_gbe_has_wider_body(self, rng):
+        one = CloudNetworkModel(rate_gbps=1.0).measure(rng, 100_000)
+        ten = CloudNetworkModel(rate_gbps=10.0).measure(rng, 100_000)
+        assert one.std() > ten.std()
+
+    def test_positive(self, rng):
+        samples = CloudNetworkModel().measure(rng, 10_000)
+        assert (samples > 0).all()
+
+    def test_payload_adds_serialization(self, rng):
+        model = CloudNetworkModel(rate_gbps=1.0)
+        plain = model.draw(rng, 10_000).mean()
+        loaded = model.draw(rng, 10_000, payload_bytes=61_440).mean()
+        assert loaded - plain == pytest.approx(500, abs=30)
+
+    def test_draw_one(self, rng):
+        assert CloudNetworkModel().draw_one(rng) > 0
+
+
+class TestFronthaul:
+    def test_fixed_latency(self):
+        model = FronthaulModel(distance_km=20.0, switch_overhead_us=10.0)
+        assert model.one_way_latency_us() == pytest.approx(110.0)
+
+    def test_serialization_optional(self):
+        model = FronthaulModel(distance_km=20.0, switch_overhead_us=10.0, rate_gbps=10.0)
+        with_payload = model.one_way_latency_us(payload_bytes=61_440)
+        assert with_payload > model.one_way_latency_us()
+
+    def test_negligible_jitter(self, rng):
+        # Paper: the fronthaul has "almost negligible jitter".
+        model = FronthaulModel()
+        draws = np.array([model.draw(rng) for _ in range(1000)])
+        assert draws.std() < 1.0
+
+    def test_paper_distance_range(self):
+        # 20-40 km fronthaul -> 0.1-0.2 ms one-way propagation.
+        assert 100.0 <= FronthaulModel(distance_km=30.0, switch_overhead_us=0.0).one_way_latency_us() <= 200.0

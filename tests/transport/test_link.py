@@ -1,0 +1,78 @@
+"""Tests for link-level transport primitives."""
+
+import pytest
+
+from repro.transport.link import (
+    cpri_line_rate_gbps,
+    propagation_delay_us,
+    serialization_delay_us,
+)
+
+
+class TestSerialization:
+    def test_zero_payload(self):
+        assert serialization_delay_us(0, 1.0) == 0.0
+
+    def test_one_gbe_anchor(self):
+        # 15360 samples x 4 B at 1 GbE: ~0.5 ms (the paper's 10 MHz
+        # per-radio transfer that dominates Fig. 7).
+        delay = serialization_delay_us(61440, 1.0)
+        assert delay == pytest.approx(500, abs=15)
+
+    def test_ten_gbe_is_ten_times_faster(self):
+        d1 = serialization_delay_us(100_000, 1.0)
+        d10 = serialization_delay_us(100_000, 10.0)
+        assert d1 == pytest.approx(10 * d10, rel=0.01)
+
+    def test_includes_packet_overhead(self):
+        # Two MTU-size payloads carry twice the framing overhead of one.
+        one = serialization_delay_us(1500, 1.0)
+        two = serialization_delay_us(3000, 1.0)
+        assert two == pytest.approx(2 * one, rel=1e-6)
+
+    def test_monotone_in_payload(self):
+        delays = [serialization_delay_us(n, 10.0) for n in (0, 100, 10_000, 1_000_000)]
+        assert delays == sorted(delays)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            serialization_delay_us(-1, 1.0)
+        with pytest.raises(ValueError):
+            serialization_delay_us(100, 0.0)
+
+
+class TestPropagation:
+    def test_5us_per_km(self):
+        # Paper sec. 2.3: ~5 us/km in fiber.
+        assert propagation_delay_us(20.0) == pytest.approx(100.0)
+
+    def test_fronthaul_range_anchor(self):
+        # 20-40 km -> 0.1-0.2 ms one-way.
+        assert 100.0 <= propagation_delay_us(25.0) <= 200.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            propagation_delay_us(-1.0)
+
+
+class TestCpri:
+    def test_10mhz_2ant_rate(self):
+        # Raw IQ fronthaul for 10 MHz x 2 antennas: ~1 Gbps class.
+        rate = cpri_line_rate_gbps(10.0, 2)
+        assert 0.9 < rate < 1.2
+
+    def test_scales_with_antennas(self):
+        assert cpri_line_rate_gbps(10.0, 4) == pytest.approx(
+            2 * cpri_line_rate_gbps(10.0, 2)
+        )
+
+    def test_scales_with_bandwidth(self):
+        assert cpri_line_rate_gbps(20.0, 1) == pytest.approx(
+            2 * cpri_line_rate_gbps(10.0, 1)
+        )
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            cpri_line_rate_gbps(7.0, 1)
+        with pytest.raises(ValueError):
+            cpri_line_rate_gbps(10.0, 0)

@@ -1,0 +1,56 @@
+"""Tests for the WARP testbed transport model (Fig. 7 anchors)."""
+
+import pytest
+
+from repro.lte.grid import GridConfig
+from repro.transport.warp import WarpTransportModel
+
+
+@pytest.fixture
+def model():
+    return WarpTransportModel()
+
+
+class TestWarpModel:
+    def test_10mhz_8ant_near_09ms(self, model):
+        # Paper sec. 4.2: "the one-way latency ... at 10MHz bandwidth is
+        # as high as 0.9 ms" for the 8-antenna testbed.
+        latency = model.one_way_latency_us(GridConfig(10.0), 8)
+        assert latency == pytest.approx(900, abs=80)
+
+    def test_10mhz_16ant_exceeds_1ms(self, model):
+        # Fig. 7: 10 MHz exceeds 1 ms at full radio count.
+        assert model.one_way_latency_us(GridConfig(10.0), 16) > 1000.0
+
+    def test_5mhz_16ant_well_below_1ms(self, model):
+        # Fig. 7: 5 MHz maxes out around 620 us.
+        latency = model.one_way_latency_us(GridConfig(5.0), 16)
+        assert latency < 800.0
+
+    def test_max_8_antennas_at_10mhz(self, model):
+        # "at most 8 antennas at 10 MHz can be supported on the GPP".
+        assert model.max_supported_antennas(GridConfig(10.0)) == 8
+
+    def test_more_antennas_supported_at_5mhz(self, model):
+        assert model.max_supported_antennas(GridConfig(5.0)) >= 16
+
+    def test_monotone_in_antennas(self, model):
+        grid = GridConfig(10.0)
+        latencies = [model.one_way_latency_us(grid, n) for n in range(1, 17)]
+        assert latencies == sorted(latencies)
+
+    def test_monotone_in_bandwidth(self, model):
+        for n in (1, 8):
+            assert model.one_way_latency_us(GridConfig(10.0), n) > model.one_way_latency_us(
+                GridConfig(5.0), n
+            )
+
+    def test_rejects_zero_antennas(self, model):
+        with pytest.raises(ValueError):
+            model.one_way_latency_us(GridConfig(10.0), 0)
+
+    def test_draw_adds_bounded_jitter(self, model, rng):
+        grid = GridConfig(10.0)
+        base = model.one_way_latency_us(grid, 4)
+        draws = [model.draw(grid, 4, rng) for _ in range(200)]
+        assert all(base <= d <= base + model.jitter_us for d in draws)

@@ -1,0 +1,87 @@
+"""Tests for trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.workload.io import (
+    load_traces_csv,
+    load_traces_npz,
+    save_traces_csv,
+    save_traces_npz,
+)
+from repro.workload.traces import CellularTraceGenerator
+
+
+@pytest.fixture
+def traces():
+    return CellularTraceGenerator(seed=9).generate(100)
+
+
+class TestNpz:
+    def test_round_trip(self, traces, tmp_path):
+        path = tmp_path / "traces.npz"
+        save_traces_npz(path, traces)
+        loaded = load_traces_npz(path)
+        assert np.array_equal(loaded, traces)
+
+    def test_missing_key(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, other=np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            load_traces_npz(path)
+
+    def test_validation_on_save(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_traces_npz(tmp_path / "x.npz", np.full((2, 5), 1.5))
+        with pytest.raises(ValueError):
+            save_traces_npz(tmp_path / "x.npz", np.zeros(5))
+
+
+class TestCsv:
+    def test_round_trip(self, traces, tmp_path):
+        path = tmp_path / "traces.csv"
+        save_traces_csv(path, traces)
+        loaded = load_traces_csv(path)
+        assert loaded.shape == traces.shape
+        assert np.allclose(loaded, traces, atol=1e-6)
+
+    def test_header_names(self, traces, tmp_path):
+        path = tmp_path / "traces.csv"
+        save_traces_csv(path, traces)
+        header = path.read_text().splitlines()[0]
+        assert header == "bs0,bs1,bs2,bs3"
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            load_traces_csv(path)
+
+    def test_header_only_rejected(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("bs0,bs1\n")
+        with pytest.raises(ValueError):
+            load_traces_csv(path)
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("bs0,bs1\n0.5,0.5\n0.4\n")
+        with pytest.raises(ValueError):
+            load_traces_csv(path)
+
+    def test_out_of_range_rejected(self, tmp_path):
+        path = tmp_path / "range.csv"
+        path.write_text("bs0\n1.5\n")
+        with pytest.raises(ValueError):
+            load_traces_csv(path)
+
+    def test_loaded_traces_drive_workload(self, traces, tmp_path):
+        # End-to-end: a persisted trace feeds build_workload unchanged.
+        from repro.sched import CRanConfig, build_workload
+
+        path = tmp_path / "traces.csv"
+        save_traces_csv(path, traces)
+        loaded = load_traces_csv(path)
+        cfg = CRanConfig(transport_latency_us=500.0)
+        jobs = build_workload(cfg, traces.shape[1], seed=1, loads=loaded)
+        assert len(jobs) == traces.size

@@ -1,0 +1,62 @@
+"""Tests for the load-to-grant mapping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workload.mapping import GrantMapper
+
+
+@pytest.fixture
+def mapper():
+    return GrantMapper()
+
+
+class TestGrantMapper:
+    def test_full_load_is_peak_mcs(self, mapper):
+        assert mapper.mcs_for_load(1.0) == 27
+
+    def test_zero_load_is_mcs0(self, mapper):
+        assert mapper.mcs_for_load(0.0) == 0
+
+    @given(st.floats(0.0, 1.0, allow_nan=False))
+    def test_mcs_in_range(self, load):
+        mcs = GrantMapper().mcs_for_load(load)
+        assert 0 <= mcs <= 27
+
+    @given(st.floats(0.0, 0.99), st.floats(0.0, 0.99))
+    def test_monotone(self, a, b):
+        mapper = GrantMapper()
+        lo, hi = sorted((a, b))
+        assert mapper.mcs_for_load(lo) <= mapper.mcs_for_load(hi)
+
+    def test_out_of_range_rejected(self, mapper):
+        with pytest.raises(ValueError):
+            mapper.mcs_for_load(1.5)
+        with pytest.raises(ValueError):
+            mapper.mcs_for_load(-0.1)
+
+    def test_grant_carries_antennas_and_prbs(self):
+        mapper = GrantMapper(num_prbs=25, num_antennas=4)
+        grant = mapper.grant_for_load(0.5)
+        assert grant.num_prbs == 25
+        assert grant.num_antennas == 4
+
+    def test_grant_throughput_covers_load(self, mapper):
+        # The grant's nominal rate must cover the offered load fraction.
+        from repro.lte.mcs import throughput_mbps
+
+        peak = throughput_mbps(27, 50)
+        for load in (0.1, 0.4, 0.7, 0.95):
+            grant = mapper.grant_for_load(load)
+            assert throughput_mbps(grant.mcs, 50) >= load * peak - 1e-9
+
+    def test_mcs_cap(self):
+        mapper = GrantMapper(mcs_cap=20)
+        assert mapper.mcs_for_load(1.0) == 20
+
+    def test_trace_vectorization(self, mapper):
+        grants = mapper.grants_for_trace(np.array([0.0, 0.5, 1.0]))
+        assert len(grants) == 3
+        assert grants[0].mcs == 0
+        assert grants[2].mcs == 27

@@ -1,0 +1,114 @@
+"""Tests for the cellular trace generator and measurement emulation."""
+
+import numpy as np
+import pytest
+
+from repro.workload.traces import (
+    BasestationTraceConfig,
+    CellularTraceGenerator,
+    default_basestation_configs,
+    measure_load_from_energy,
+    synthesize_downlink_energy,
+)
+
+
+class TestTraceGenerator:
+    def test_shape(self):
+        traces = CellularTraceGenerator(seed=1).generate(500)
+        assert traces.shape == (4, 500)
+
+    def test_bounds(self):
+        traces = CellularTraceGenerator(seed=1).generate(5000)
+        assert traces.min() >= 0.0
+        assert traces.max() <= 1.0
+
+    def test_reproducible(self):
+        a = CellularTraceGenerator(seed=5).generate(200)
+        b = CellularTraceGenerator(seed=5).generate(200)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_trace(self):
+        a = CellularTraceGenerator(seed=5).generate(200)
+        b = CellularTraceGenerator(seed=6).generate(200)
+        assert not np.array_equal(a, b)
+
+    def test_basestations_differ(self):
+        traces = CellularTraceGenerator(seed=1).generate(2000)
+        assert not np.array_equal(traces[0], traces[1])
+
+    def test_mean_loads_track_configs(self):
+        traces = CellularTraceGenerator(seed=3).generate(30_000)
+        configs = default_basestation_configs()
+        for i, cfg in enumerate(configs):
+            assert traces[i].mean() == pytest.approx(cfg.mean, abs=0.12)
+
+    def test_cdfs_fan_out(self):
+        # Fig. 14: the hot cell's load is stochastically larger.
+        traces = CellularTraceGenerator(seed=3).generate(30_000)
+        assert traces[0].mean() > traces[3].mean()
+
+    def test_subframe_scale_variation(self):
+        # Fig. 1: consecutive subframes differ considerably.
+        traces = CellularTraceGenerator(seed=3).generate(10_000)
+        diffs = np.abs(np.diff(traces[0]))
+        assert diffs.mean() > 0.05
+
+    def test_temporal_correlation_exists(self):
+        # The slow component makes nearby subframes more similar than
+        # distant ones.
+        trace = CellularTraceGenerator(seed=3).generate(30_000)[0]
+        centered = trace - trace.mean()
+        near = np.corrcoef(centered[:-10], centered[10:])[0, 1]
+        far = np.corrcoef(centered[:-3000], centered[3000:])[0, 1]
+        assert near > far
+
+    def test_custom_configs(self):
+        configs = [BasestationTraceConfig(mean=0.9, slow_std=0.01, fast_std=0.01)]
+        traces = CellularTraceGenerator(configs, seed=1).generate(5000)
+        assert traces.shape[0] == 1
+        assert traces.mean() > 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BasestationTraceConfig(mean=1.5)
+        with pytest.raises(ValueError):
+            BasestationTraceConfig(slow_std=-0.1)
+        with pytest.raises(ValueError):
+            BasestationTraceConfig(correlation_ms=0.0)
+        with pytest.raises(ValueError):
+            CellularTraceGenerator([], seed=1)
+        with pytest.raises(ValueError):
+            CellularTraceGenerator(seed=1).generate(0)
+
+
+class TestEnergyMeasurement:
+    def test_round_trip_recovers_load(self, rng):
+        # Close the paper's methodology loop: synthesize RF whose energy
+        # follows a known load, then re-estimate the load from energy.
+        load = np.clip(rng.uniform(0.1, 1.0, 200), 0, 1)
+        load[17] = 1.0  # pin the normalization reference
+        capture = synthesize_downlink_energy(load, samples_per_ms=512, rng=rng, snr_db=30.0)
+        estimated = measure_load_from_energy(capture, samples_per_ms=512)
+        assert np.corrcoef(load, estimated)[0, 1] > 0.98
+
+    def test_output_range(self, rng):
+        capture = synthesize_downlink_energy(np.linspace(0, 1, 50), 256, rng)
+        estimated = measure_load_from_energy(capture, 256)
+        assert estimated.min() >= 0.0
+        assert estimated.max() == pytest.approx(1.0)
+
+    def test_noise_floor_subtraction(self, rng):
+        capture = synthesize_downlink_energy(np.zeros(20), 256, rng, snr_db=10.0)
+        raw = measure_load_from_energy(capture, 256)
+        floored = measure_load_from_energy(capture, 256, noise_floor=10.0)
+        assert floored.sum() <= raw.sum()
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            measure_load_from_energy(np.ones(10), 0)
+        with pytest.raises(ValueError):
+            measure_load_from_energy(np.ones(3), 10)
+
+    def test_zero_capture(self):
+        estimated = measure_load_from_energy(np.zeros(1000), 100)
+        assert not estimated.any()
