@@ -1,0 +1,86 @@
+"""Benchmark: the parallel runtime — serial vs parallel fan-out, and
+cold vs warm result-cache timings.
+
+Wall-clock speedup from ``jobs > 1`` depends on the host's core count
+(CI boxes may have one), so the asserts pin the *contracts* — parallel
+output byte-identical to serial, warm cache executes nothing — while
+pytest-benchmark records the timings for comparison on real hardware.
+
+Every benchmark builds its cache under a tmp dir, keeping the suite
+parallel-safe and the user's real cache untouched.
+"""
+
+import shutil
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.runtime import ExperimentRunner, ResultCache, outputs_match
+
+#: fig15 at this scale: 7 RTT/2 units x 4 schedulers over 500 subframes/BS.
+RUNNER_SCALE = 0.01
+RUNNER_SEED = 2016
+
+
+@pytest.mark.benchmark(group="runner-fanout")
+def test_bench_runner_serial(benchmark):
+    def serial():
+        results, _ = ExperimentRunner(jobs=1).run(
+            ["fig15"], scale=RUNNER_SCALE, seed=RUNNER_SEED
+        )
+        return results
+
+    results = benchmark.pedantic(serial, rounds=1, iterations=1)
+    assert results[0].ok
+
+
+@pytest.mark.benchmark(group="runner-fanout")
+def test_bench_runner_parallel(benchmark):
+    def parallel():
+        results, _ = ExperimentRunner(jobs=4).run(
+            ["fig15"], scale=RUNNER_SCALE, seed=RUNNER_SEED
+        )
+        return results
+
+    results = benchmark.pedantic(parallel, rounds=1, iterations=1)
+    serial = run_experiment("fig15", scale=RUNNER_SCALE, seed=RUNNER_SEED)
+    assert outputs_match(results[0].output, serial)
+
+
+@pytest.mark.benchmark(group="runner-cache")
+def test_bench_runner_cold_cache(benchmark, tmp_path):
+    root = tmp_path / "cold"
+
+    def fresh_dir():
+        shutil.rmtree(root, ignore_errors=True)
+        return (), {}
+
+    def cold():
+        results, report = ExperimentRunner(jobs=1, cache=ResultCache(root)).run(
+            ["fig15"], scale=RUNNER_SCALE, seed=RUNNER_SEED
+        )
+        return results, report
+
+    (results, report) = benchmark.pedantic(cold, setup=fresh_dir, rounds=1, iterations=1)
+    assert results[0].ok and not results[0].cached
+    assert report.cache_hits == 0
+
+
+@pytest.mark.benchmark(group="runner-cache")
+def test_bench_runner_warm_cache(benchmark, tmp_path):
+    root = tmp_path / "warm"
+    cache = ResultCache(root)
+    cold, _ = ExperimentRunner(jobs=1, cache=cache).run(
+        ["fig15"], scale=RUNNER_SCALE, seed=RUNNER_SEED
+    )
+
+    def warm():
+        results, report = ExperimentRunner(jobs=1, cache=ResultCache(root)).run(
+            ["fig15"], scale=RUNNER_SCALE, seed=RUNNER_SEED
+        )
+        return results, report
+
+    (results, report) = benchmark(warm)
+    assert results[0].cached  # served without executing the driver
+    assert report.cache_hits >= 1
+    assert results[0].output.text == cold[0].output.text

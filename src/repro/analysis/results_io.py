@@ -10,6 +10,8 @@ and provision compute resources").
 from __future__ import annotations
 
 import csv
+import dataclasses
+import json
 from pathlib import Path
 from typing import Union
 
@@ -43,12 +45,17 @@ def save_result_csv(path: PathLike, result: SchedulerResult) -> None:
     """Write one row per subframe record.
 
     Migration batches are flattened to their subtask count; the scheduler
-    name and config are recorded in a comment-style first line.
+    name and the full :class:`CRanConfig` (as JSON) are recorded in a
+    comment-style first line.  ``rtt_us`` stays as its own header field
+    for human readability and backward compatibility.
     """
+    config_json = json.dumps(dataclasses.asdict(result.config), sort_keys=True)
     with open(Path(path), "w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(
-            ["# scheduler", result.scheduler_name, "rtt_us", result.config.transport_latency_us]
+            ["# scheduler", result.scheduler_name,
+             "rtt_us", result.config.transport_latency_us,
+             "config", config_json]
         )
         writer.writerow(_COLUMNS)
         for r in result.records:
@@ -79,8 +86,12 @@ def save_result_csv(path: PathLike, result: SchedulerResult) -> None:
 def load_result_csv(path: PathLike) -> SchedulerResult:
     """Reload a result written by :func:`save_result_csv`.
 
-    Migration batch details are not round-tripped (only their subtask
-    totals were exported); everything the analysis helpers consume is.
+    The full run config round-trips via the JSON header field (files
+    written before that field carried only ``rtt_us``; loading them
+    falls back to a default config at that latency).  Migration *batch*
+    details are not round-tripped — only their per-record subtask
+    totals, restored via ``SubframeRecord.migrated_override`` so
+    ``migrated_subtasks`` survives the round trip.
     """
     with open(Path(path), newline="") as handle:
         reader = csv.reader(handle)
@@ -89,6 +100,9 @@ def load_result_csv(path: PathLike) -> SchedulerResult:
             raise ValueError(f"{path} is not a scheduler-result CSV")
         scheduler_name = meta[1]
         rtt_us = float(meta[3])
+        config = CRanConfig(transport_latency_us=rtt_us)
+        if len(meta) >= 6 and meta[4] == "config":
+            config = CRanConfig(**json.loads(meta[5]))
         header = next(reader, None)
         if tuple(header or ()) != _COLUMNS:
             raise ValueError(f"{path} has an unexpected column layout")
@@ -117,7 +131,7 @@ def load_result_csv(path: PathLike) -> SchedulerResult:
                     int(i) for i in values["iterations"].split("/") if i
                 ),
                 crc_pass=bool(int(values["crc_pass"])),
+                migrated_override=int(values["migrated_subtasks"]),
             )
             records.append(record)
-    config = CRanConfig(transport_latency_us=rtt_us)
     return SchedulerResult(scheduler_name, config, records)

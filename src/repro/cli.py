@@ -4,22 +4,34 @@ Usage::
 
     python -m repro list
     python -m repro fig15 --scale 0.2
-    python -m repro all --scale 0.1 --seed 7
+    python -m repro all --scale 0.2 --jobs 8
+    python -m repro all --scale 1.0 --no-cache --json report.json
 
 ``--scale 1.0`` reproduces the paper-sized runs (30 000 subframes per
 basestation for the scheduler experiments); smaller scales shrink the
 sample counts proportionally for quick looks.
+
+``--jobs N`` fans the work out over N processes: sweep-style
+experiments (fig15, fig17, fig19, table2) decompose into independent
+sweep points, everything else parallelizes across experiments; the
+output is byte-identical to a serial run.  Results are cached on disk
+(``--cache-dir``, default ``~/.cache/rtopex-repro`` or
+``$RTOPEX_CACHE_DIR``) keyed by experiment, scale, seed, and a source
+fingerprint, so warm reruns skip execution entirely; ``--no-cache``
+disables this.  ``--json PATH`` exports run telemetry (per-unit wall
+times, cache counters, failures) for CI tracking.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
 from typing import List, Optional
 
-from repro.experiments import list_experiments, run_experiment
+from repro.experiments import get_experiment, list_experiments
 from repro.experiments.base import DEFAULT_SEED
+from repro.runtime import ExperimentRunner, ExperimentResult, ResultCache, default_cache_dir
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -38,30 +50,95 @@ def build_parser() -> argparse.ArgumentParser:
         help="sample-size scale; 1.0 = paper-sized runs (default 0.2)",
     )
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED, help="RNG seed")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes; sweeps decompose into parallel units (default 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="result-cache directory (default ~/.cache/rtopex-repro or $RTOPEX_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        dest="json_path",
+        help="write the run report (telemetry + cache counters) as JSON",
+    )
     return parser
+
+
+def _print_listing(stream=None) -> None:
+    stream = stream if stream is not None else sys.stdout
+    for exp in list_experiments():
+        print(f"{exp.experiment_id:8s}  {exp.title}", file=stream)
+
+
+def _print_result(result: ExperimentResult) -> None:
+    if result.error is not None:
+        print(f"[{result.experiment_id} FAILED]", file=sys.stderr)
+        print(result.error.rstrip(), file=sys.stderr)
+        print(file=sys.stderr)
+        return
+    print(result.output)
+    suffix = " (cached)" if result.cached else ""
+    print(f"[{result.experiment_id} finished in {result.wall_s:.1f}s{suffix}]")
+    print()
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.experiment == "list":
-        for exp in list_experiments():
-            print(f"{exp.experiment_id:8s}  {exp.title}")
+        _print_listing()
         return 0
 
-    ids = (
-        [e.experiment_id for e in list_experiments()]
-        if args.experiment == "all"
-        else [args.experiment]
+    if args.experiment == "all":
+        ids = [e.experiment_id for e in list_experiments()]
+    else:
+        try:
+            get_experiment(args.experiment)
+        except KeyError:
+            print(f"error: unknown experiment {args.experiment!r}", file=sys.stderr)
+            print("known experiments:", file=sys.stderr)
+            _print_listing(sys.stderr)
+            return 2
+        ids = [args.experiment]
+
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.scale <= 0:
+        print("error: --scale must be positive", file=sys.stderr)
+        return 2
+
+    cache = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir if args.cache_dir else default_cache_dir()
+        cache = ResultCache(cache_dir)
+
+    runner = ExperimentRunner(jobs=args.jobs, cache=cache)
+    results, report = runner.run(
+        ids, scale=args.scale, seed=args.seed, on_result=_print_result
     )
-    for experiment_id in ids:
-        start = time.time()
-        output = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
-        elapsed = time.time() - start
-        print(output)
-        print(f"[{experiment_id} finished in {elapsed:.1f}s]")
-        print()
-    return 0
+
+    print(report.summary_text())
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            json.dump(report.to_json_dict(), handle, indent=2)
+        print(f"[runtime] report written to {args.json_path}")
+
+    return 1 if report.failures else 0
 
 
 if __name__ == "__main__":

@@ -1,9 +1,12 @@
-"""Experiment registry and shared evaluation defaults."""
+"""Experiment registry, shared evaluation defaults, and the sweep-point
+decomposition API the parallel runtime fans out over."""
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Mapping, Optional
 
 from repro.constants import DEFAULT_TRACE_SUBFRAMES
 
@@ -35,10 +38,66 @@ ExperimentFn = Callable[[float, int], ExperimentOutput]
 
 
 @dataclass(frozen=True)
+class WorkUnit:
+    """One independent sweep point of a decomposable experiment.
+
+    ``params`` must be JSON-native (str keys; str/int/float/bool/None
+    values, possibly nested in lists/dicts) — it is part of the result
+    cache key and crosses process boundaries.
+    """
+
+    experiment_id: str
+    key: str
+    params: Mapping[str, object] = field(default_factory=dict)
+    seed: int = DEFAULT_SEED
+
+
+#: Unit result: a JSON-native dict ``{"data": {...}, "events": int}``
+#: where ``events`` counts the subframes (or samples) the unit processed.
+UnitResult = Dict[str, object]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """How to split one experiment into independent work units.
+
+    ``units(scale, seed)`` enumerates the sweep points; ``run_unit``
+    executes one of them (in any process, in any order) and returns a
+    JSON-native :data:`UnitResult`; ``combine(results, scale, seed)``
+    folds the unit results — in ``units()`` order — back into the exact
+    :class:`ExperimentOutput` the serial driver produces.  Decomposed
+    runs must be byte-identical to serial ones: ``run_unit`` has to
+    perform the same calls, with the same seeds, as the corresponding
+    slice of the serial driver.
+    """
+
+    units: Callable[[float, int], List[WorkUnit]]
+    run_unit: Callable[[WorkUnit], UnitResult]
+    combine: Callable[[List[UnitResult], float, int], ExperimentOutput]
+
+
+def derive_unit_seed(base_seed: int, experiment_id: str, key: str) -> int:
+    """Stable per-unit seed for drivers whose sweep points need
+    *independent* RNG streams (e.g. replicated-seed studies).
+
+    The paper-artifact sweeps reuse ``base_seed`` at every point (the
+    paired-workload methodology), so their units carry it unchanged;
+    this helper exists for decompositions where points must not share
+    draws.  sha256-based, so it is stable across processes and Python
+    versions (unlike ``hash()``).
+    """
+    digest = hashlib.sha256(
+        f"{base_seed}:{experiment_id}:{key}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+@dataclass(frozen=True)
 class Experiment:
     experiment_id: str
     title: str
     fn: ExperimentFn
+    sweep: Optional[SweepSpec] = None
 
 
 _REGISTRY: Dict[str, Experiment] = {}
@@ -54,6 +113,13 @@ def register(experiment_id: str, title: str) -> Callable[[ExperimentFn], Experim
         return fn
 
     return wrap
+
+
+def attach_sweep(experiment_id: str, spec: SweepSpec) -> None:
+    """Declare an already-registered experiment decomposable."""
+    if experiment_id not in _REGISTRY:
+        raise KeyError(f"cannot attach sweep: unknown experiment {experiment_id!r}")
+    _REGISTRY[experiment_id] = dataclasses.replace(_REGISTRY[experiment_id], sweep=spec)
 
 
 def list_experiments() -> List[Experiment]:

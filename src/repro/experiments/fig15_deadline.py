@@ -16,49 +16,91 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.analysis.report import Table
-from repro.experiments.base import ExperimentOutput, register, scaled_subframes
+from repro.experiments.base import (
+    ExperimentOutput,
+    SweepSpec,
+    UnitResult,
+    WorkUnit,
+    attach_sweep,
+    register,
+    scaled_subframes,
+)
 from repro.sched import CRanConfig, build_workload, run_scheduler
 
 RTT_SWEEP_US = (400.0, 450.0, 500.0, 550.0, 600.0, 650.0, 700.0)
 
+_SERIES = ("partitioned", "global-8", "global-16", "rt-opex")
+
+
+def _rates_at(rtt: float, num_subframes: int, seed: int) -> Dict[str, float]:
+    """Miss rate of every scheduler at one RTT/2 point (paired workload)."""
+    cfg = CRanConfig(transport_latency_us=rtt)
+    jobs = build_workload(cfg, num_subframes, seed=seed)
+    rates = {
+        "partitioned": run_scheduler("partitioned", cfg, jobs).miss_rate(),
+        "rt-opex": run_scheduler("rt-opex", cfg, jobs).miss_rate(),
+    }
+    for cores in (8, 16):
+        cfg_g = CRanConfig(transport_latency_us=rtt, num_cores=cores)
+        rates[f"global-{cores}"] = run_scheduler("global", cfg_g, jobs).miss_rate()
+    return rates
+
 
 def sweep(num_subframes: int, seed: int, rtts=RTT_SWEEP_US) -> Dict[str, List[float]]:
     """Run the full scheduler comparison; returns miss-rate series."""
-    series: Dict[str, List[float]] = {
-        "partitioned": [],
-        "global-8": [],
-        "global-16": [],
-        "rt-opex": [],
-    }
+    series: Dict[str, List[float]] = {name: [] for name in _SERIES}
     for rtt in rtts:
-        cfg = CRanConfig(transport_latency_us=rtt)
-        jobs = build_workload(cfg, num_subframes, seed=seed)
-        series["partitioned"].append(run_scheduler("partitioned", cfg, jobs).miss_rate())
-        series["rt-opex"].append(run_scheduler("rt-opex", cfg, jobs).miss_rate())
-        for cores in (8, 16):
-            cfg_g = CRanConfig(transport_latency_us=rtt, num_cores=cores)
-            series[f"global-{cores}"].append(
-                run_scheduler("global", cfg_g, jobs).miss_rate()
-            )
+        rates = _rates_at(rtt, num_subframes, seed)
+        for name in _SERIES:
+            series[name].append(rates[name])
     return series
 
 
-@register("fig15", "Deadline-miss rate vs RTT/2 for all schedulers")
-def run(scale: float, seed: int) -> ExperimentOutput:
-    num_subframes = scaled_subframes(scale)
-    series = sweep(num_subframes, seed)
+def _render(series: Dict[str, List[float]], num_subframes: int) -> ExperimentOutput:
     table = Table(
         ["RTT/2 (us)", "partitioned", "global-8", "global-16", "rt-opex"],
         title=f"Fig. 15 (reproduced): deadline-miss rate, {num_subframes} subframes/BS",
     )
     for i, rtt in enumerate(RTT_SWEEP_US):
-        table.add_row(
-            [rtt]
-            + [series[name][i] for name in ("partitioned", "global-8", "global-16", "rt-opex")]
-        )
+        table.add_row([rtt] + [series[name][i] for name in _SERIES])
     return ExperimentOutput(
         experiment_id="fig15",
         title="Deadline-miss vs transport latency",
         text=table.render(),
         data={"rtt_us": list(RTT_SWEEP_US), **series},
     )
+
+
+@register("fig15", "Deadline-miss rate vs RTT/2 for all schedulers")
+def run(scale: float, seed: int) -> ExperimentOutput:
+    num_subframes = scaled_subframes(scale)
+    return _render(sweep(num_subframes, seed), num_subframes)
+
+
+# -- sweep decomposition: one unit per RTT/2 point ---------------------------
+
+def _units(scale: float, seed: int) -> List[WorkUnit]:
+    num_subframes = scaled_subframes(scale)
+    return [
+        WorkUnit(
+            experiment_id="fig15",
+            key=f"rtt={rtt:g}",
+            params={"rtt_us": rtt, "num_subframes": num_subframes},
+            seed=seed,
+        )
+        for rtt in RTT_SWEEP_US
+    ]
+
+
+def _run_unit(unit: WorkUnit) -> UnitResult:
+    num_subframes = int(unit.params["num_subframes"])
+    rates = _rates_at(float(unit.params["rtt_us"]), num_subframes, unit.seed)
+    return {"data": rates, "events": num_subframes}
+
+
+def _combine(results: List[UnitResult], scale: float, seed: int) -> ExperimentOutput:
+    series = {name: [r["data"][name] for r in results] for name in _SERIES}
+    return _render(series, scaled_subframes(scale))
+
+
+attach_sweep("fig15", SweepSpec(units=_units, run_unit=_run_unit, combine=_combine))

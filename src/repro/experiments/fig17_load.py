@@ -14,12 +14,22 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.analysis.report import Table
-from repro.experiments.base import ExperimentOutput, register, scaled_subframes
+from repro.experiments.base import (
+    ExperimentOutput,
+    SweepSpec,
+    UnitResult,
+    WorkUnit,
+    attach_sweep,
+    register,
+    scaled_subframes,
+)
 from repro.lte.mcs import throughput_mbps
 from repro.sched import CRanConfig, build_workload, run_scheduler
 
 #: Minimum subframes in an MCS bucket for its rate to be reported.
 MIN_BUCKET = 200
+
+_SCHEDULERS = ("partitioned", "global", "rt-opex")
 
 
 def threshold_load(miss_by_mbps: Dict[float, float], threshold: float = 1e-2) -> float:
@@ -37,44 +47,44 @@ def threshold_load(miss_by_mbps: Dict[float, float], threshold: float = 1e-2) ->
     return supported
 
 
-@register("fig17", "Deadline-miss rate vs offered load (RTT/2 = 500 us)")
-def run(scale: float, seed: int) -> ExperimentOutput:
-    num_subframes = scaled_subframes(scale)
+def _run_one(name: str, num_subframes: int, seed: int):
+    """One scheduler over the standard trace: (per-MCS miss rates, counts)."""
     cfg = CRanConfig(transport_latency_us=500.0)
     jobs = build_workload(cfg, num_subframes, seed=seed)
-
-    names = ("partitioned", "global", "rt-opex")
-    by_mcs: Dict[str, Dict[int, float]] = {}
     counts: Dict[int, int] = {}
     for job in jobs:
         counts[job.subframe.grant.mcs] = counts.get(job.subframe.grant.mcs, 0) + 1
+    run_cfg = cfg if name != "global" else CRanConfig(
+        transport_latency_us=500.0, num_cores=8
+    )
+    result = run_scheduler(name, run_cfg, jobs, seed=seed)
+    return result.miss_rate_by_mcs(), counts
+
+
+def _render(
+    by_mcs: Dict[str, Dict[int, float]],
+    counts: Dict[int, int],
+    num_subframes: int,
+) -> ExperimentOutput:
     reported = sorted(m for m, c in counts.items() if c >= MIN_BUCKET)
-
-    for name in names:
-        run_cfg = cfg if name != "global" else CRanConfig(
-            transport_latency_us=500.0, num_cores=8
-        )
-        result = run_scheduler(name, run_cfg, jobs, seed=seed)
-        by_mcs[name] = result.miss_rate_by_mcs()
-
     table = Table(
         ["MCS", "load (Mbps)", "subframes", "partitioned", "global-8", "rt-opex"],
         title=f"Fig. 17 (reproduced): per-load miss rate, {num_subframes} subframes/BS",
     )
     mbps_axis: List[float] = []
-    series: Dict[str, List[float]] = {n: [] for n in names}
+    series: Dict[str, List[float]] = {n: [] for n in _SCHEDULERS}
     for mcs in reported:
         mbps = throughput_mbps(mcs)
         mbps_axis.append(mbps)
         row = [mcs, mbps, counts[mcs]]
-        for name in names:
+        for name in _SCHEDULERS:
             rate = by_mcs[name].get(mcs, 0.0)
             series[name].append(rate)
             row.append(rate)
         table.add_row(row)
 
     supported = {
-        name: threshold_load(dict(zip(mbps_axis, series[name]))) for name in names
+        name: threshold_load(dict(zip(mbps_axis, series[name]))) for name in _SCHEDULERS
     }
     note = "load supported at 1e-2 miss threshold: " + ", ".join(
         f"{n}={v:.1f} Mbps" for n, v in supported.items()
@@ -85,3 +95,64 @@ def run(scale: float, seed: int) -> ExperimentOutput:
         text=table.render() + "\n" + note,
         data={"mbps": mbps_axis, **series, "supported": supported, "counts": counts},
     )
+
+
+@register("fig17", "Deadline-miss rate vs offered load (RTT/2 = 500 us)")
+def run(scale: float, seed: int) -> ExperimentOutput:
+    num_subframes = scaled_subframes(scale)
+    cfg = CRanConfig(transport_latency_us=500.0)
+    jobs = build_workload(cfg, num_subframes, seed=seed)
+    counts: Dict[int, int] = {}
+    for job in jobs:
+        counts[job.subframe.grant.mcs] = counts.get(job.subframe.grant.mcs, 0) + 1
+
+    by_mcs: Dict[str, Dict[int, float]] = {}
+    for name in _SCHEDULERS:
+        run_cfg = cfg if name != "global" else CRanConfig(
+            transport_latency_us=500.0, num_cores=8
+        )
+        by_mcs[name] = run_scheduler(name, run_cfg, jobs, seed=seed).miss_rate_by_mcs()
+    return _render(by_mcs, counts, num_subframes)
+
+
+# -- sweep decomposition: one unit per scheduler -----------------------------
+#
+# All units share the single RTT/2 = 500 us workload, so each rebuilds it
+# from the same seed (the paired-comparison methodology): redundant work
+# bought for scheduler-level parallelism.
+
+def _units(scale: float, seed: int) -> List[WorkUnit]:
+    num_subframes = scaled_subframes(scale)
+    return [
+        WorkUnit(
+            experiment_id="fig17",
+            key=f"scheduler={name}",
+            params={"scheduler": name, "num_subframes": num_subframes},
+            seed=seed,
+        )
+        for name in _SCHEDULERS
+    ]
+
+
+def _run_unit(unit: WorkUnit) -> UnitResult:
+    num_subframes = int(unit.params["num_subframes"])
+    by_mcs, counts = _run_one(str(unit.params["scheduler"]), num_subframes, unit.seed)
+    return {
+        "data": {
+            "by_mcs": {str(m): rate for m, rate in by_mcs.items()},
+            "counts": {str(m): c for m, c in counts.items()},
+        },
+        "events": num_subframes,
+    }
+
+
+def _combine(results: List[UnitResult], scale: float, seed: int) -> ExperimentOutput:
+    by_mcs = {
+        name: {int(m): float(rate) for m, rate in r["data"]["by_mcs"].items()}
+        for name, r in zip(_SCHEDULERS, results)
+    }
+    counts = {int(m): int(c) for m, c in results[0]["data"]["counts"].items()}
+    return _render(by_mcs, counts, scaled_subframes(scale))
+
+
+attach_sweep("fig17", SweepSpec(units=_units, run_unit=_run_unit, combine=_combine))

@@ -10,8 +10,18 @@ rate, and mean processing time at RTT/2 = 500 us.
 
 from __future__ import annotations
 
+from typing import Dict, List, Tuple
+
 from repro.analysis.report import Table
-from repro.experiments.base import ExperimentOutput, register, scaled_subframes
+from repro.experiments.base import (
+    ExperimentOutput,
+    SweepSpec,
+    UnitResult,
+    WorkUnit,
+    attach_sweep,
+    register,
+    scaled_subframes,
+)
 from repro.sched import CRanConfig, build_workload, run_scheduler
 
 #: Qualitative rows copied from the paper's Table 2.
@@ -24,27 +34,34 @@ QUALITATIVE = {
 }
 
 
-@register("table2", "Qualitative + quantitative scheduler comparison")
-def run(scale: float, seed: int) -> ExperimentOutput:
-    num_subframes = scaled_subframes(scale)
+_SCHEDULERS = ("pran", "cloudiq", "partitioned", "global", "rt-opex")
+
+
+def _run_one(name: str, num_subframes: int, seed: int) -> Tuple[str, Dict[str, float]]:
+    """One baseline over the standard trace: (display name, summary)."""
     cfg = CRanConfig(transport_latency_us=500.0)
     jobs = build_workload(cfg, num_subframes, seed=seed)
+    run_cfg = cfg if name != "global" else CRanConfig(
+        transport_latency_us=500.0, num_cores=8
+    )
+    result = run_scheduler(name, run_cfg, jobs, seed=seed)
+    return result.scheduler_name, result.summary()
 
+
+def _render(
+    rows: Dict[str, Tuple[str, Dict[str, float]]], num_subframes: int
+) -> ExperimentOutput:
     table = Table(
         ["scheduler", "migration", "resources", "granularity",
          "miss rate", "ACK rate", "mean Trxproc (us)"],
         title=f"Table 2 (reproduced + quantified): {num_subframes} subframes/BS, RTT/2=500us",
     )
     data = {}
-    for name in ("pran", "cloudiq", "partitioned", "global", "rt-opex"):
-        run_cfg = cfg if name != "global" else CRanConfig(
-            transport_latency_us=500.0, num_cores=8
-        )
-        result = run_scheduler(name, run_cfg, jobs, seed=seed)
-        summary = result.summary()
+    for name in _SCHEDULERS:
+        display_name, summary = rows[name]
         mig, res, gran = QUALITATIVE[name]
         table.add_row(
-            [result.scheduler_name, mig, res, gran,
+            [display_name, mig, res, gran,
              summary["miss_rate"], summary["ack_rate"], summary["mean_proc_us"]]
         )
         data[name] = summary
@@ -54,3 +71,56 @@ def run(scale: float, seed: int) -> ExperimentOutput:
         text=table.render(),
         data=data,
     )
+
+
+@register("table2", "Qualitative + quantitative scheduler comparison")
+def run(scale: float, seed: int) -> ExperimentOutput:
+    num_subframes = scaled_subframes(scale)
+    cfg = CRanConfig(transport_latency_us=500.0)
+    jobs = build_workload(cfg, num_subframes, seed=seed)
+
+    rows: Dict[str, Tuple[str, Dict[str, float]]] = {}
+    for name in _SCHEDULERS:
+        run_cfg = cfg if name != "global" else CRanConfig(
+            transport_latency_us=500.0, num_cores=8
+        )
+        result = run_scheduler(name, run_cfg, jobs, seed=seed)
+        rows[name] = (result.scheduler_name, result.summary())
+    return _render(rows, num_subframes)
+
+
+# -- sweep decomposition: one unit per baseline ------------------------------
+
+def _units(scale: float, seed: int) -> List[WorkUnit]:
+    num_subframes = scaled_subframes(scale)
+    return [
+        WorkUnit(
+            experiment_id="table2",
+            key=f"scheduler={name}",
+            params={"scheduler": name, "num_subframes": num_subframes},
+            seed=seed,
+        )
+        for name in _SCHEDULERS
+    ]
+
+
+def _run_unit(unit: WorkUnit) -> UnitResult:
+    num_subframes = int(unit.params["num_subframes"])
+    display_name, summary = _run_one(
+        str(unit.params["scheduler"]), num_subframes, unit.seed
+    )
+    return {
+        "data": {"scheduler_name": display_name, "summary": summary},
+        "events": num_subframes,
+    }
+
+
+def _combine(results: List[UnitResult], scale: float, seed: int) -> ExperimentOutput:
+    rows = {
+        name: (str(r["data"]["scheduler_name"]), dict(r["data"]["summary"]))
+        for name, r in zip(_SCHEDULERS, results)
+    }
+    return _render(rows, scaled_subframes(scale))
+
+
+attach_sweep("table2", SweepSpec(units=_units, run_unit=_run_unit, combine=_combine))

@@ -1,0 +1,41 @@
+"""Parallel experiment runtime: process-pool fan-out, result cache,
+run telemetry.
+
+This is the scaling layer the CLI (``python -m repro``), the benchmark
+suite, and CI run experiments through::
+
+    from repro.runtime import ExperimentRunner, ResultCache
+
+    runner = ExperimentRunner(jobs=8, cache=ResultCache("~/.cache/rtopex-repro"))
+    results, report = runner.run(["fig15", "fig17"], scale=0.2, seed=2016)
+
+See :mod:`repro.runtime.engine` for the serial/parallel equivalence
+contract and :mod:`repro.runtime.cache` for the cache layout.
+"""
+
+from repro.runtime.cache import (
+    CACHE_DIR_ENV,
+    ResultCache,
+    code_fingerprint,
+    default_cache_dir,
+)
+from repro.runtime.engine import (
+    WHOLE_UNIT_KEY,
+    ExperimentResult,
+    ExperimentRunner,
+    outputs_match,
+)
+from repro.runtime.telemetry import RunReport, UnitStat
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "ResultCache",
+    "RunReport",
+    "UnitStat",
+    "WHOLE_UNIT_KEY",
+    "code_fingerprint",
+    "default_cache_dir",
+    "outputs_match",
+]

@@ -1,0 +1,105 @@
+"""Run telemetry: per-unit timings, cache counters, failure summary.
+
+The runner records one :class:`UnitStat` per executed (or cache-served)
+work unit and aggregates them into a :class:`RunReport` that the CLI
+prints after every run and can export as JSON (``--json``) for CI
+dashboards and regression tracking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class UnitStat:
+    """Telemetry for one work unit (a sweep point or a whole driver)."""
+
+    experiment_id: str
+    unit_key: str  # sweep-point key, or "__whole__" for undecomposed runs
+    wall_s: float
+    events: Optional[int] = None  # subframes processed; None if unknown
+    cached: bool = False
+    error: Optional[str] = None
+
+
+@dataclass
+class RunReport:
+    """Aggregate view of one runner invocation."""
+
+    jobs: int
+    scale: float
+    seed: int
+    wall_s: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_enabled: bool = False
+    units: List[UnitStat] = field(default_factory=list)
+    #: experiment id -> error message, for drivers that raised.
+    failures: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def experiment_ids(self) -> List[str]:
+        seen: List[str] = []
+        for stat in self.units:
+            if stat.experiment_id not in seen:
+                seen.append(stat.experiment_id)
+        return seen
+
+    def events_processed(self) -> int:
+        """Total subframes processed across units that reported a count."""
+        return sum(stat.events for stat in self.units if stat.events is not None)
+
+    def compute_seconds(self) -> float:
+        """Summed per-unit wall time (>= ``wall_s`` when running parallel)."""
+        return sum(stat.wall_s for stat in self.units)
+
+    def summary_text(self) -> str:
+        executed = sum(1 for s in self.units if not s.cached and s.error is None)
+        cached = sum(1 for s in self.units if s.cached)
+        parts = [
+            f"{len(self.experiment_ids)} experiments, {len(self.units)} units "
+            f"({executed} executed, {cached} from cache)",
+            f"jobs={self.jobs}",
+        ]
+        if self.cache_enabled:
+            parts.append(f"cache {self.cache_hits} hits / {self.cache_misses} misses")
+        else:
+            parts.append("cache off")
+        events = self.events_processed()
+        if events:
+            parts.append(f"{events} subframes")
+        parts.append(f"{self.wall_s:.1f}s wall ({self.compute_seconds():.1f}s compute)")
+        lines = ["[runtime] " + " | ".join(parts)]
+        if self.failures:
+            failed = ", ".join(sorted(self.failures))
+            lines.append(f"[runtime] FAILED: {failed}")
+        return "\n".join(lines)
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "jobs": self.jobs,
+            "scale": self.scale,
+            "seed": self.seed,
+            "wall_s": self.wall_s,
+            "compute_s": self.compute_seconds(),
+            "events_processed": self.events_processed(),
+            "cache": {
+                "enabled": self.cache_enabled,
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+            },
+            "units": [
+                {
+                    "experiment_id": s.experiment_id,
+                    "unit_key": s.unit_key,
+                    "wall_s": s.wall_s,
+                    "events": s.events,
+                    "cached": s.cached,
+                    "error": s.error,
+                }
+                for s in self.units
+            ],
+            "failures": dict(self.failures),
+        }

@@ -163,6 +163,9 @@ class SubframeRecord:
     iterations: Tuple[int, ...] = ()
     crc_pass: bool = True
     migrations: List[MigrationEvent] = field(default_factory=list)
+    #: Reloaded results (CSV round-trips) carry only the migrated-subtask
+    #: total, not the per-batch events; this override preserves the count.
+    migrated_override: Optional[int] = None
 
     @property
     def processing_time_us(self) -> float:
@@ -181,6 +184,8 @@ class SubframeRecord:
 
     @property
     def migrated_subtasks(self) -> int:
+        if self.migrated_override is not None:
+            return self.migrated_override
         return sum(m.num_subtasks for m in self.migrations)
 
 

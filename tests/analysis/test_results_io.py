@@ -1,16 +1,33 @@
 """Tests for scheduler-result CSV export/import."""
 
+import csv
 import math
 
 import pytest
 
-from repro.analysis.results_io import load_result_csv, save_result_csv
-from repro.sched import run_scheduler
+from repro.analysis.results_io import _COLUMNS, load_result_csv, save_result_csv
+from repro.sched import CRanConfig, build_workload, run_scheduler
 
 
 @pytest.fixture(scope="module")
 def result(small_config, small_workload):
     return run_scheduler("rt-opex", small_config, small_workload)
+
+
+@pytest.fixture(scope="module")
+def custom_result():
+    """An rt-opex run with every config field off its default."""
+    config = CRanConfig(
+        num_basestations=2,
+        cores_per_bs=3,
+        num_antennas=4,
+        transport_latency_us=620.0,
+        snr_db=20.0,
+        max_iterations=6,
+        drop_on_slack_check=False,
+    )
+    jobs = build_workload(config, 150, seed=11)
+    return run_scheduler("rt-opex", config, jobs, seed=11)
 
 
 class TestResultsIo:
@@ -47,6 +64,55 @@ class TestResultsIo:
         save_result_csv(path, result)
         loaded = load_result_csv(path)
         assert loaded.config.transport_latency_us == result.config.transport_latency_us
+
+    def test_round_trip_every_column(self, result, tmp_path):
+        """Save -> load equality over every exported ``_COLUMNS`` field."""
+        path = tmp_path / "run.csv"
+        save_result_csv(path, result)
+        loaded = load_result_csv(path)
+        assert len(loaded.records) == len(result.records)
+        for original, reloaded in zip(result.records, loaded.records):
+            for column in _COLUMNS:
+                a, b = getattr(original, column), getattr(reloaded, column)
+                if isinstance(a, float):
+                    if math.isnan(a):
+                        assert math.isnan(b)
+                    else:
+                        assert b == pytest.approx(a, abs=1e-3)
+                else:
+                    assert a == b, column
+
+    def test_round_trip_migrated_subtasks(self, result, tmp_path):
+        """Migration totals must survive: fig16-style post-processing on
+        exported CSVs silently saw 0 migrations before this fix."""
+        total = sum(r.migrated_subtasks for r in result.records)
+        assert total > 0  # rt-opex migrates on this workload
+        path = tmp_path / "run.csv"
+        save_result_csv(path, result)
+        loaded = load_result_csv(path)
+        assert sum(r.migrated_subtasks for r in loaded.records) == total
+        for original, reloaded in zip(result.records, loaded.records):
+            assert reloaded.migrated_subtasks == original.migrated_subtasks
+
+    def test_round_trip_full_config(self, custom_result, tmp_path):
+        """Every CRanConfig field round-trips, not just the RTT."""
+        path = tmp_path / "run.csv"
+        save_result_csv(path, custom_result)
+        loaded = load_result_csv(path)
+        assert loaded.config == custom_result.config
+
+    def test_loads_legacy_header_without_config(self, result, tmp_path):
+        """Files written before the config field fall back to RTT-only."""
+        path = tmp_path / "run.csv"
+        save_result_csv(path, result)
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        rows[0] = rows[0][:4]  # strip the config field, keep rtt_us
+        with open(path, "w", newline="") as handle:
+            csv.writer(handle).writerows(rows)
+        loaded = load_result_csv(path)
+        assert loaded.config.transport_latency_us == result.config.transport_latency_us
+        assert len(loaded.records) == len(result.records)
 
     def test_rejects_foreign_csv(self, tmp_path):
         path = tmp_path / "other.csv"

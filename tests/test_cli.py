@@ -1,8 +1,16 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def cache_args(tmp_path):
+    """Isolated cache dir so CLI tests never touch the user's cache."""
+    return ["--cache-dir", str(tmp_path / "cli-cache")]
 
 
 class TestCli:
@@ -12,22 +20,84 @@ class TestCli:
         assert "fig15" in out
         assert "table1" in out
 
-    def test_run_single_experiment(self, capsys):
-        assert main(["fig4"]) == 0
+    def test_run_single_experiment(self, capsys, cache_args):
+        assert main(["fig4"] + cache_args) == 0
         out = capsys.readouterr().out
         assert "decode" in out
         assert "finished in" in out
 
-    def test_scale_and_seed_flags(self, capsys):
-        assert main(["table1", "--scale", "0.01", "--seed", "3"]) == 0
+    def test_scale_and_seed_flags(self, capsys, cache_args):
+        assert main(["table1", "--scale", "0.01", "--seed", "3"] + cache_args) == 0
         out = capsys.readouterr().out
         assert "GPP (ours)" in out
 
-    def test_unknown_experiment_raises(self):
-        with pytest.raises(KeyError):
-            main(["fig99"])
+    def test_unknown_experiment_lists_and_exits_nonzero(self, capsys):
+        assert main(["fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        assert "fig15" in err  # the known-experiment listing
 
     def test_parser_defaults(self):
         args = build_parser().parse_args(["fig15"])
         assert args.scale == 0.2
         assert args.experiment == "fig15"
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert not args.no_cache
+        assert args.json_path is None
+
+    def test_invalid_jobs(self, capsys):
+        assert main(["fig4", "--jobs", "0", "--no-cache"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_invalid_scale(self, capsys):
+        assert main(["fig4", "--scale", "0", "--no-cache"]) == 2
+        assert "--scale" in capsys.readouterr().err
+
+    def test_no_cache_flag(self, capsys):
+        assert main(["fig7", "--scale", "0.01", "--no-cache"]) == 0
+        assert "cache off" in capsys.readouterr().out
+
+    def test_warm_cache_rerun(self, capsys, cache_args):
+        assert main(["fig7", "--scale", "0.01"] + cache_args) == 0
+        assert "cache 0 hits / 1 misses" in capsys.readouterr().out
+        assert main(["fig7", "--scale", "0.01"] + cache_args) == 0
+        out = capsys.readouterr().out
+        assert "(cached)" in out
+        assert "cache 1 hits / 0 misses" in out
+
+    def test_cache_dir_env_fallback(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("RTOPEX_CACHE_DIR", str(tmp_path / "env-cache"))
+        assert main(["fig7", "--scale", "0.01"]) == 0
+        assert (tmp_path / "env-cache").is_dir()
+
+    def test_json_report(self, capsys, cache_args, tmp_path):
+        report_path = tmp_path / "report.json"
+        assert main(["fig7", "--scale", "0.01", "--json", str(report_path)] + cache_args) == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["jobs"] == 1
+        assert [u["experiment_id"] for u in payload["units"]] == ["fig7"]
+        assert payload["failures"] == {}
+
+    def test_parallel_run_matches_serial(self, capsys, tmp_path):
+        from repro.experiments import run_experiment
+
+        assert main(["fig7", "--scale", "0.01", "--jobs", "2", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "jobs=2" in out
+        assert run_experiment("fig7", scale=0.01).text in out
+
+    def test_failing_driver_reported_and_exits_nonzero(self, capsys):
+        from repro.experiments.base import _REGISTRY, register
+
+        @register("_t-cli-bad", "always fails")
+        def _run(scale, seed):
+            raise RuntimeError("driver exploded")
+
+        try:
+            assert main(["_t-cli-bad", "--no-cache"]) == 1
+            captured = capsys.readouterr()
+            assert "FAILED" in captured.err
+            assert "_t-cli-bad" in captured.out  # runtime summary names it
+        finally:
+            del _REGISTRY["_t-cli-bad"]
