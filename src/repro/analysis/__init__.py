@@ -12,13 +12,35 @@ from repro.analysis.stats import (
     summarize,
     tail_fraction,
 )
+from repro.analysis.tracestats import (
+    busy_spans,
+    core_busy_us,
+    core_utilization,
+    deadline_miss_count,
+    deadline_verdicts,
+    find_overlaps,
+    gap_cdf,
+    gap_histogram,
+    gap_samples,
+    gap_summary,
+)
 
 __all__ = [
     "Table",
     "format_series",
     "render_cdf",
     "binomial_confidence_interval",
+    "busy_spans",
+    "core_busy_us",
+    "core_utilization",
+    "deadline_miss_count",
+    "deadline_verdicts",
     "empirical_cdf",
+    "find_overlaps",
+    "gap_cdf",
+    "gap_histogram",
+    "gap_samples",
+    "gap_summary",
     "summarize",
     "tail_fraction",
 ]

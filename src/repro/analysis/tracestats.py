@@ -1,0 +1,169 @@
+"""Trace-derived metrics: per-core utilization, gap CDFs, verdict counts.
+
+These aggregators consume the typed event streams the schedulers emit
+(:mod:`repro.obs`) — either live :class:`~repro.obs.trace.RunTrace`
+objects or traces reloaded from a JSONL export — and recompute the
+paper's timeline-level statistics *from the trace alone*:
+
+* :func:`core_busy_us` / :func:`core_utilization` — per-core occupancy
+  from busy spans (``task`` + ``migration_executed``), the numbers the
+  consistency tests hold equal to ``SchedulerResult.core_busy_us``;
+* :func:`gap_samples` / :func:`gap_cdf` / :func:`gap_histogram` —
+  Fig. 16-style idle-gap distributions straight from ``gap`` events;
+* :func:`deadline_miss_count` — the run's miss count, reproduced by
+  summing ``deadline`` verdict events;
+* :func:`find_overlaps` — sanity check that no core executes two busy
+  spans at once (the invariant the Chrome export relies on).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.obs.events import BUSY_KINDS, DEADLINE, GAP, TraceEvent
+from repro.obs.trace import RunTrace
+
+#: Tolerance for span-overlap detection: well below one nanosecond of
+#: virtual time, far under any real task duration.
+_OVERLAP_EPS_US = 1e-6
+
+
+def _events(run: "RunTrace | Iterable[TraceEvent]") -> List[TraceEvent]:
+    if isinstance(run, RunTrace):
+        return run.events
+    return list(run)
+
+
+def busy_spans(run: "RunTrace | Iterable[TraceEvent]") -> Dict[int, List[Tuple[float, float]]]:
+    """Per-core ``(start, end)`` busy spans, sorted by start time."""
+    spans: Dict[int, List[Tuple[float, float]]] = {}
+    for event in _events(run):
+        if event.kind in BUSY_KINDS:
+            spans.setdefault(event.core, []).append((event.ts_us, event.end_us))
+    for core_spans in spans.values():
+        core_spans.sort()
+    return spans
+
+
+def core_busy_us(run: "RunTrace | Iterable[TraceEvent]") -> Dict[int, float]:
+    """Total busy microseconds per core, summed over busy spans."""
+    totals: Dict[int, float] = {}
+    for event in _events(run):
+        if event.kind in BUSY_KINDS:
+            totals[event.core] = totals.get(event.core, 0.0) + event.dur_us
+    return totals
+
+
+def core_utilization(
+    run: "RunTrace | Iterable[TraceEvent]",
+    horizon_us: float = 0.0,
+) -> Dict[int, float]:
+    """Busy fraction per core over ``horizon_us``.
+
+    With no horizon given, the end of the last event in the trace is
+    used — the natural "run length" of a drained simulation.
+    """
+    events = _events(run)
+    if horizon_us <= 0:
+        horizon_us = max((e.end_us for e in events), default=0.0)
+    busy = core_busy_us(events)
+    if horizon_us <= 0:
+        return {core: 0.0 for core in sorted(busy)}
+    return {core: busy[core] / horizon_us for core in sorted(busy)}
+
+
+def find_overlaps(
+    run: "RunTrace | Iterable[TraceEvent]",
+) -> List[Tuple[int, float, float]]:
+    """Busy-span overlap violations as ``(core, end_a, start_b)`` triples.
+
+    An empty list certifies that every core's busy timeline is a valid
+    single-worker schedule — the invariant that makes the Chrome
+    per-core tracks trustworthy.
+    """
+    violations: List[Tuple[int, float, float]] = []
+    for core, spans in busy_spans(run).items():
+        for (_, prev_end), (next_start, _) in zip(spans, spans[1:]):
+            if next_start < prev_end - _OVERLAP_EPS_US:
+                violations.append((core, prev_end, next_start))
+    return violations
+
+
+def deadline_miss_count(run: "RunTrace | Iterable[TraceEvent]") -> int:
+    """Misses-or-drops in the run, from ``deadline`` verdict events."""
+    return sum(
+        1
+        for event in _events(run)
+        if event.kind == DEADLINE and bool(event.args.get("missed"))
+    )
+
+
+def deadline_verdicts(run: "RunTrace | Iterable[TraceEvent]") -> Tuple[int, int]:
+    """``(hits, misses)`` over every subframe verdict in the run."""
+    hits = misses = 0
+    for event in _events(run):
+        if event.kind != DEADLINE:
+            continue
+        if event.args.get("missed"):
+            misses += 1
+        else:
+            hits += 1
+    return hits, misses
+
+
+# -- gap distributions (Fig. 16 left panel) -----------------------------------
+
+def gap_samples(
+    run: "RunTrace | Iterable[TraceEvent]",
+    usable_only: bool = False,
+) -> np.ndarray:
+    """Idle-gap durations (us); ``usable_only`` drops framework-reserved
+    gaps after slack-check drops (paper sec. 4.1)."""
+    values = [
+        event.dur_us
+        for event in _events(run)
+        if event.kind == GAP
+        and (not usable_only or bool(event.args.get("usable", True)))
+    ]
+    return np.asarray(values, dtype=np.float64)
+
+
+def gap_cdf(
+    run: "RunTrace | Iterable[TraceEvent]",
+    usable_only: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of the idle gaps: ``(sorted_gaps_us, P(gap <= x))``."""
+    samples = np.sort(gap_samples(run, usable_only=usable_only))
+    if samples.size == 0:
+        return samples, samples
+    probabilities = np.arange(1, samples.size + 1, dtype=np.float64) / samples.size
+    return samples, probabilities
+
+
+def gap_histogram(
+    run: "RunTrace | Iterable[TraceEvent]",
+    bin_edges_us: Sequence[float],
+    usable_only: bool = False,
+) -> np.ndarray:
+    """Gap counts per ``bin_edges_us`` bucket (numpy histogram semantics)."""
+    samples = gap_samples(run, usable_only=usable_only)
+    counts, _ = np.histogram(samples, bins=np.asarray(bin_edges_us, dtype=np.float64))
+    return counts
+
+
+def gap_summary(
+    run: "RunTrace | Iterable[TraceEvent]",
+    threshold_us: float = 500.0,
+) -> Dict[str, float]:
+    """Fig. 16-style roll-up: median gap and the tail beyond ``threshold_us``."""
+    samples = gap_samples(run)
+    if samples.size == 0:
+        return {"count": 0.0, "median_us": math.nan, "tail_fraction": math.nan}
+    return {
+        "count": float(samples.size),
+        "median_us": float(np.median(samples)),
+        "tail_fraction": float(np.mean(samples > threshold_us)),
+    }

@@ -20,6 +20,15 @@ output is byte-identical to a serial run.  Results are cached on disk
 fingerprint, so warm reruns skip execution entirely; ``--no-cache``
 disables this.  ``--json PATH`` exports run telemetry (per-unit wall
 times, cache counters, failures) for CI tracking.
+
+``--trace PATH`` records every scheduler run's microsecond timeline
+(arrivals, per-core busy spans, migrations, idle gaps, deadline
+verdicts) and writes it on exit — by default as Chrome trace-event JSON
+loadable in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``,
+or as line-delimited JSON with ``--trace-format jsonl`` for programmatic
+analysis (see :mod:`repro.analysis.tracestats`).  Tracing forces the
+result cache off: a cache-served unit executes no scheduler and would
+leave holes in the timeline.
 """
 
 from __future__ import annotations
@@ -75,6 +84,19 @@ def build_parser() -> argparse.ArgumentParser:
         dest="json_path",
         help="write the run report (telemetry + cache counters) as JSON",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        dest="trace_path",
+        help="record scheduler timelines and write a trace file (disables the cache)",
+    )
+    parser.add_argument(
+        "--trace-format",
+        choices=("chrome", "jsonl"),
+        default="chrome",
+        help="trace file format: Chrome/Perfetto JSON or line-delimited JSON (default chrome)",
+    )
     return parser
 
 
@@ -123,14 +145,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     cache = None
-    if not args.no_cache:
+    if not args.no_cache and not args.trace_path:
         cache_dir = args.cache_dir if args.cache_dir else default_cache_dir()
         cache = ResultCache(cache_dir)
 
     runner = ExperimentRunner(jobs=args.jobs, cache=cache)
-    results, report = runner.run(
-        ids, scale=args.scale, seed=args.seed, on_result=_print_result
-    )
+    if args.trace_path:
+        from repro.obs import Tracer, tracing, write_chrome_trace, write_jsonl_trace
+
+        tracer = Tracer()
+        with tracing(tracer):
+            results, report = runner.run(
+                ids, scale=args.scale, seed=args.seed, on_result=_print_result
+            )
+        if args.trace_format == "jsonl":
+            write_jsonl_trace(args.trace_path, tracer)
+        else:
+            write_chrome_trace(args.trace_path, tracer)
+        report.trace_summary = {
+            **tracer.summary(),
+            "path": args.trace_path,
+            "format": args.trace_format,
+        }
+    else:
+        results, report = runner.run(
+            ids, scale=args.scale, seed=args.seed, on_result=_print_result
+        )
 
     print(report.summary_text())
     if args.json_path:

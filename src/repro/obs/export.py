@@ -1,0 +1,170 @@
+"""Trace exporters: Chrome trace-event JSON and line-delimited JSON.
+
+Chrome format (``--trace-format chrome``, the default) targets
+``chrome://tracing`` and Perfetto's legacy-JSON importer: each scheduler
+run becomes one *process* (pid = run index, named by the run label) and
+each core one *thread* track inside it, so per-core occupancy reads
+directly off the timeline.  Idle gaps are rendered on a parallel
+``core N gaps`` track to keep the busy tracks strictly non-overlapping.
+Timestamps are emitted in microseconds — the Chrome format's native
+unit and the simulator's clock resolution — so no scaling happens on
+either side.
+
+JSONL format (``--trace-format jsonl``) is one JSON object per line:
+``{"type": "run", ...}`` headers followed by their ``{"type": "event",
+...}`` lines, which :func:`read_jsonl_trace` and
+:mod:`repro.analysis.tracestats` consume without loading the whole file
+into a JSON parser.
+
+Both writers serialize with sorted keys and fixed separators, so two
+tracers holding equal runs produce byte-identical files — the property
+the serial-vs-parallel determinism tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.obs.events import GAP, SPAN_KINDS, TraceEvent
+from repro.obs.trace import RunTrace, Tracer
+
+PathLike = Union[str, Path]
+
+#: Thread id used for queue-level events (``core == -1``).
+QUEUE_TID = 999
+#: Offset separating each core's gap track from its busy track.
+GAP_TID_OFFSET = 1000
+
+
+def _tid_for(event: TraceEvent) -> int:
+    if event.core < 0:
+        return QUEUE_TID
+    if event.kind == GAP:
+        return GAP_TID_OFFSET + event.core
+    return event.core
+
+
+def _thread_name(tid: int) -> str:
+    if tid == QUEUE_TID:
+        return "queue"
+    if tid >= GAP_TID_OFFSET:
+        return f"core {tid - GAP_TID_OFFSET} gaps"
+    return f"core {tid}"
+
+
+def chrome_trace_dict(tracer: Tracer) -> Dict[str, object]:
+    """Render a tracer as a Chrome trace-event document (JSON-native)."""
+    events: List[Dict[str, object]] = []
+    for pid, run in enumerate(tracer.runs):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": run.label},
+            }
+        )
+        events.append(
+            {
+                "name": "process_sort_index",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"sort_index": pid},
+            }
+        )
+        for tid in sorted({_tid_for(e) for e in run.events}):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": _thread_name(tid)},
+                }
+            )
+        for event in run.events:
+            args: Dict[str, object] = dict(event.args)
+            if event.bs_id >= 0:
+                args["bs"] = event.bs_id
+            if event.sf_index >= 0:
+                args["sf"] = event.sf_index
+            chrome: Dict[str, object] = {
+                "name": event.name or event.kind,
+                "cat": event.kind,
+                "ts": event.ts_us,
+                "pid": pid,
+                "tid": _tid_for(event),
+                "args": args,
+            }
+            if event.kind in SPAN_KINDS:
+                chrome["ph"] = "X"
+                chrome["dur"] = event.dur_us
+            else:
+                chrome["ph"] = "i"
+                chrome["s"] = "t"
+            events.append(chrome)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.obs",
+            "runs": [run.label for run in tracer.runs],
+        },
+    }
+
+
+def chrome_trace_json(tracer: Tracer) -> str:
+    """Deterministically serialized Chrome trace document."""
+    return json.dumps(chrome_trace_dict(tracer), sort_keys=True, separators=(",", ":"))
+
+
+def write_chrome_trace(path: PathLike, tracer: Tracer) -> None:
+    Path(path).write_text(chrome_trace_json(tracer) + "\n")
+
+
+def write_jsonl_trace(path: PathLike, tracer: Tracer) -> None:
+    """One JSON object per line: run headers followed by their events."""
+    with open(Path(path), "w") as handle:
+        for index, run in enumerate(tracer.runs):
+            header = {
+                "type": "run",
+                "index": index,
+                "label": run.label,
+                "scheduler": run.scheduler,
+                "meta": dict(run.meta),
+            }
+            handle.write(json.dumps(header, sort_keys=True, separators=(",", ":")))
+            handle.write("\n")
+            for event in run.events:
+                line = {"type": "event", "run": index, **event.to_dict()}
+                handle.write(json.dumps(line, sort_keys=True, separators=(",", ":")))
+                handle.write("\n")
+
+
+def read_jsonl_trace(path: PathLike) -> Tracer:
+    """Reload a JSONL trace into a :class:`Tracer` (events reconstructed)."""
+    tracer = Tracer()
+    current: RunTrace = None  # type: ignore[assignment]
+    with open(Path(path)) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            if payload.get("type") == "run":
+                current = tracer.begin_run(
+                    str(payload["label"]),
+                    scheduler=str(payload.get("scheduler", "")),
+                    meta=dict(payload.get("meta", {})),
+                )
+            elif payload.get("type") == "event":
+                if current is None:
+                    raise ValueError(f"{path}: event line before any run header")
+                current.emit(TraceEvent.from_dict(payload))
+            else:
+                raise ValueError(f"{path}: unknown line type {payload.get('type')!r}")
+    return tracer

@@ -1,0 +1,100 @@
+"""Minimal JSON schema for the Chrome trace export, plus a validator.
+
+The schema pins exactly what Perfetto's legacy-JSON importer needs from
+our files — the shape the CI smoke test freezes so format drift fails
+fast.  It is expressed as a (subset of) JSON Schema for documentation
+and hand-validated so the check runs without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.obs.events import EVENT_KINDS
+
+#: JSON-Schema-style description of the emitted Chrome trace document.
+CHROME_TRACE_SCHEMA: Dict[str, object] = {
+    "type": "object",
+    "required": ["traceEvents"],
+    "properties": {
+        "traceEvents": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "ph", "pid", "tid"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "ph": {"enum": ["M", "X", "i"]},
+                    "cat": {"enum": list(EVENT_KINDS)},
+                    "ts": {"type": "number", "minimum": 0},
+                    "dur": {"type": "number", "minimum": 0},
+                    "pid": {"type": "integer", "minimum": 0},
+                    "tid": {"type": "integer", "minimum": 0},
+                    "s": {"enum": ["t", "p", "g"]},
+                    "args": {"type": "object"},
+                },
+            },
+        },
+        "displayTimeUnit": {"enum": ["ms", "ns"]},
+        "otherData": {"type": "object"},
+    },
+}
+
+
+def validate_chrome_trace(document: object) -> List[str]:
+    """Check ``document`` against :data:`CHROME_TRACE_SCHEMA`.
+
+    Returns a list of human-readable violations (empty = valid).  The
+    checks mirror the schema above; keeping them in plain Python avoids
+    a ``jsonschema`` dependency in the test image.
+    """
+    errors: List[str] = []
+    if not isinstance(document, dict):
+        return ["document is not a JSON object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not an array"]
+    if "displayTimeUnit" in document and document["displayTimeUnit"] not in ("ms", "ns"):
+        errors.append(f"displayTimeUnit invalid: {document['displayTimeUnit']!r}")
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                errors.append(f"{where}: missing required key {key!r}")
+        if not isinstance(event.get("name", ""), str):
+            errors.append(f"{where}: name is not a string")
+        ph = event.get("ph")
+        if ph not in ("M", "X", "i"):
+            errors.append(f"{where}: unexpected phase {ph!r}")
+        for key in ("pid", "tid"):
+            value = event.get(key, 0)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                errors.append(f"{where}: {key} must be a non-negative integer")
+        if ph in ("X", "i"):
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+                errors.append(f"{where}: ts must be a non-negative number")
+            cat = event.get("cat")
+            if cat not in EVENT_KINDS:
+                errors.append(f"{where}: unknown category {cat!r}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool) or dur < 0:
+                errors.append(f"{where}: duration event needs dur >= 0")
+        if ph == "i" and event.get("s") not in ("t", "p", "g"):
+            errors.append(f"{where}: instant event needs scope s in t/p/g")
+        if "args" in event and not isinstance(event["args"], dict):
+            errors.append(f"{where}: args is not an object")
+    return errors
+
+
+def assert_valid_chrome_trace(document: object) -> None:
+    """Raise ``ValueError`` listing every violation when invalid."""
+    errors = validate_chrome_trace(document)
+    if errors:
+        preview = "; ".join(errors[:10])
+        more = f" (+{len(errors) - 10} more)" if len(errors) > 10 else ""
+        raise ValueError(f"invalid Chrome trace: {preview}{more}")

@@ -1,0 +1,314 @@
+"""Trace collection: per-run event buffers and the process-wide tracer.
+
+A :class:`RunTrace` is one scheduler invocation's timeline — typed emit
+helpers append :class:`~repro.obs.events.TraceEvent` objects to a flat
+list.  A :class:`Tracer` owns the run list for a whole CLI/runner
+invocation and round-trips through a JSON-native payload so forked
+worker processes can ship their runs back to the parent (see
+:meth:`Tracer.drain_payload` / :meth:`Tracer.ingest_payload`).
+
+The ambient-tracer context (:func:`set_tracer` / :func:`get_tracer` /
+:func:`tracing`) is how tracing reaches the schedulers without touching
+every experiment driver's signature: ``run_scheduler`` begins a run on
+the ambient tracer when one is installed and passes the resulting
+``RunTrace`` down.  With no tracer installed every hot path sees
+``None`` and emits nothing — the zero-overhead-when-disabled contract.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence
+
+from repro.obs.events import (
+    ARRIVAL,
+    DEADLINE,
+    GAP,
+    MIGRATION_EXECUTED,
+    MIGRATION_PLANNED,
+    MIGRATION_RETURNED,
+    SUBTASK,
+    TASK,
+    TraceEvent,
+)
+
+
+class RunTrace:
+    """Event buffer for one scheduler run, with typed emit helpers.
+
+    The helpers mirror the event vocabulary one-to-one; schedulers call
+    them only behind an ``is not None`` guard, so a disabled trace costs
+    one pointer comparison per site.
+    """
+
+    __slots__ = ("label", "scheduler", "meta", "events")
+
+    def __init__(
+        self,
+        label: str,
+        scheduler: str = "",
+        meta: Optional[Mapping[str, object]] = None,
+    ):
+        self.label = label
+        self.scheduler = scheduler or label
+        self.meta: Dict[str, object] = dict(meta or {})
+        self.events: List[TraceEvent] = []
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    # -- typed emitters ------------------------------------------------------
+
+    def arrival(self, ts_us: float, core: int, bs_id: int, sf_index: int) -> None:
+        self.events.append(
+            TraceEvent(ARRIVAL, ts_us, core, bs_id=bs_id, sf_index=sf_index)
+        )
+
+    def task(
+        self,
+        core: int,
+        name: str,
+        start_us: float,
+        end_us: float,
+        bs_id: int = -1,
+        sf_index: int = -1,
+        **args: object,
+    ) -> None:
+        """One pipeline-stage span; silently skipped when empty."""
+        if end_us <= start_us:
+            return
+        self.events.append(
+            TraceEvent(
+                TASK, start_us, core, name=name, dur_us=end_us - start_us,
+                bs_id=bs_id, sf_index=sf_index, args=args,
+            )
+        )
+
+    def subtask(
+        self,
+        core: int,
+        name: str,
+        start_us: float,
+        end_us: float,
+        bs_id: int = -1,
+        sf_index: int = -1,
+        **args: object,
+    ) -> None:
+        if end_us <= start_us:
+            return
+        self.events.append(
+            TraceEvent(
+                SUBTASK, start_us, core, name=name, dur_us=end_us - start_us,
+                bs_id=bs_id, sf_index=sf_index, args=args,
+            )
+        )
+
+    def migration_planned(
+        self,
+        ts_us: float,
+        core: int,
+        task: str,
+        shipped: int,
+        targets: Sequence[int],
+        bs_id: int = -1,
+        sf_index: int = -1,
+    ) -> None:
+        self.events.append(
+            TraceEvent(
+                MIGRATION_PLANNED, ts_us, core, name=task,
+                bs_id=bs_id, sf_index=sf_index,
+                args={"shipped": shipped, "targets": list(targets)},
+            )
+        )
+
+    def migration_executed(
+        self,
+        core: int,
+        task: str,
+        start_us: float,
+        end_us: float,
+        owner_core: int,
+        shipped: int,
+        completed: int,
+        bs_id: int = -1,
+        sf_index: int = -1,
+    ) -> None:
+        if end_us <= start_us:
+            return
+        self.events.append(
+            TraceEvent(
+                MIGRATION_EXECUTED, start_us, core, name=task,
+                dur_us=end_us - start_us, bs_id=bs_id, sf_index=sf_index,
+                args={"owner": owner_core, "shipped": shipped, "completed": completed},
+            )
+        )
+
+    def migration_returned(
+        self,
+        ts_us: float,
+        core: int,
+        task: str,
+        completed: int,
+        recovered: int,
+        bs_id: int = -1,
+        sf_index: int = -1,
+    ) -> None:
+        self.events.append(
+            TraceEvent(
+                MIGRATION_RETURNED, ts_us, core, name=task,
+                bs_id=bs_id, sf_index=sf_index,
+                args={"completed": completed, "recovered": recovered},
+            )
+        )
+
+    def gap(
+        self,
+        core: int,
+        start_us: float,
+        dur_us: float,
+        bs_id: int = -1,
+        sf_index: int = -1,
+        usable: bool = True,
+    ) -> None:
+        """Idle span after a subframe; ``usable=False`` marks slack-check
+        drops whose gap the framework keeps out of the helper pool."""
+        if dur_us <= 0:
+            return
+        self.events.append(
+            TraceEvent(
+                GAP, start_us, core, dur_us=dur_us,
+                bs_id=bs_id, sf_index=sf_index, args={"usable": usable},
+            )
+        )
+
+    def deadline(
+        self,
+        ts_us: float,
+        core: int,
+        missed: bool,
+        bs_id: int = -1,
+        sf_index: int = -1,
+        drop_stage: Optional[str] = None,
+    ) -> None:
+        args: Dict[str, object] = {"missed": missed}
+        if drop_stage:
+            args["drop_stage"] = drop_stage
+        self.events.append(
+            TraceEvent(
+                DEADLINE, ts_us, core,
+                name="miss" if missed else "hit",
+                bs_id=bs_id, sf_index=sf_index, args=args,
+            )
+        )
+
+    # -- payload round-trip --------------------------------------------------
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "scheduler": self.scheduler,
+            "meta": dict(self.meta),
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "RunTrace":
+        run = cls(
+            label=str(payload["label"]),
+            scheduler=str(payload.get("scheduler", "")),
+            meta=dict(payload.get("meta", {})),
+        )
+        run.events = [TraceEvent.from_dict(e) for e in payload.get("events", [])]
+        return run
+
+
+class Tracer:
+    """All trace runs of one runner/CLI invocation, in emission order."""
+
+    def __init__(self) -> None:
+        self.runs: List[RunTrace] = []
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def begin_run(
+        self,
+        label: str,
+        scheduler: str = "",
+        meta: Optional[Mapping[str, object]] = None,
+    ) -> RunTrace:
+        run = RunTrace(label, scheduler=scheduler, meta=meta)
+        self.runs.append(run)
+        return run
+
+    def num_events(self) -> int:
+        return sum(len(run) for run in self.runs)
+
+    def clear(self) -> None:
+        self.runs = []
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-native roll-up for telemetry reports."""
+        kinds: Dict[str, int] = {}
+        misses = 0
+        for run in self.runs:
+            for event in run.events:
+                kinds[event.kind] = kinds.get(event.kind, 0) + 1
+                if event.kind == DEADLINE and event.args.get("missed"):
+                    misses += 1
+        return {
+            "runs": len(self.runs),
+            "events": self.num_events(),
+            "deadline_misses": misses,
+            "kinds": dict(sorted(kinds.items())),
+        }
+
+    # -- cross-process transport ---------------------------------------------
+
+    def payload(self) -> Dict[str, object]:
+        return {"runs": [run.to_payload() for run in self.runs]}
+
+    def drain_payload(self) -> Dict[str, object]:
+        """Payload of everything collected so far, then reset.
+
+        Worker processes call this after each work unit so runs never
+        leak between units executed by the same pool worker.
+        """
+        payload = self.payload()
+        self.clear()
+        return payload
+
+    def ingest_payload(self, payload: Mapping[str, object]) -> None:
+        """Append runs shipped back from a worker process."""
+        for run_payload in payload.get("runs", []):
+            self.runs.append(RunTrace.from_payload(run_payload))
+
+
+# -- ambient tracer context ---------------------------------------------------
+
+_ACTIVE: Optional[Tracer] = None
+
+
+def set_tracer(tracer: Optional[Tracer]) -> None:
+    """Install (or, with ``None``, remove) the process-wide tracer."""
+    global _ACTIVE
+    _ACTIVE = tracer
+
+
+def get_tracer() -> Optional[Tracer]:
+    """The ambient tracer, or ``None`` when tracing is disabled."""
+    return _ACTIVE
+
+
+@contextmanager
+def tracing(tracer: Optional[Tracer]) -> Iterator[Optional[Tracer]]:
+    """Scoped :func:`set_tracer`; restores the previous tracer on exit."""
+    previous = get_tracer()
+    set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

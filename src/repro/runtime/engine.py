@@ -75,27 +75,55 @@ def _output_from_payload(experiment_id: str, payload: Dict[str, object]) -> Expe
 
 
 # -- pool workers (module-level so they survive pickling) --------------------
+#
+# Workers are forked, so they inherit the parent's ambient tracer (see
+# repro.obs).  Each worker function clears it before running (fork may
+# have copied runs the parent already collected) and drains the runs it
+# produced into a picklable payload returned alongside the result; the
+# parent re-ingests payloads in deterministic experiment x unit order so
+# the assembled tracer is byte-identical to a serial run's.
 
-def _worker_whole(experiment_id: str, scale: float, seed: int) -> Tuple[ExperimentOutput, float]:
+def _clear_ambient_trace() -> None:
+    from repro.obs.trace import get_tracer
+
+    tracer = get_tracer()
+    if tracer is not None:
+        tracer.clear()
+
+
+def _drain_ambient_trace() -> Optional[Dict[str, object]]:
+    from repro.obs.trace import get_tracer
+
+    tracer = get_tracer()
+    if tracer is None:
+        return None
+    return tracer.drain_payload()
+
+
+def _worker_whole(
+    experiment_id: str, scale: float, seed: int
+) -> Tuple[ExperimentOutput, float, Optional[Dict[str, object]]]:
     from repro.experiments import run_experiment  # registration side effects
 
+    _clear_ambient_trace()
     start = perf_counter()
     output = run_experiment(experiment_id, scale=scale, seed=seed)
-    return output, perf_counter() - start
+    return output, perf_counter() - start, _drain_ambient_trace()
 
 
 def _worker_unit(
     experiment_id: str, key: str, params: Dict[str, object], seed: int
-) -> Tuple[UnitResult, float]:
+) -> Tuple[UnitResult, float, Optional[Dict[str, object]]]:
     import repro.experiments  # noqa: F401  (registration side effects)
 
     exp = get_experiment(experiment_id)
     if exp.sweep is None:
         raise RuntimeError(f"experiment {experiment_id!r} has no sweep decomposition")
     unit = WorkUnit(experiment_id=experiment_id, key=key, params=params, seed=seed)
+    _clear_ambient_trace()
     start = perf_counter()
     result = exp.sweep.run_unit(unit)
-    return result, perf_counter() - start
+    return result, perf_counter() - start, _drain_ambient_trace()
 
 
 class ExperimentRunner:
@@ -250,6 +278,8 @@ class ExperimentRunner:
         pending_units: Dict[str, int] = {}
         submitted_units: Dict[str, int] = {}
         exp_wall: Dict[str, float] = {}
+        # (experiment_id, unit index or None) -> worker trace payload.
+        trace_payloads: Dict[Tuple[str, Optional[int]], Dict[str, object]] = {}
 
         def finish(result: ExperimentResult) -> None:
             results[result.experiment_id] = result
@@ -336,7 +366,7 @@ class ExperimentRunner:
                     exp, index = future_meta.pop(future)
                     experiment_id = exp.experiment_id
                     try:
-                        value, wall_s = future.result()
+                        value, wall_s, trace_payload = future.result()
                     except Exception:
                         error = traceback.format_exc(limit=8)
                         unit_key = (
@@ -349,6 +379,8 @@ class ExperimentRunner:
                         if experiment_id not in results:
                             finish(ExperimentResult(experiment_id, error=error))
                         continue
+                    if trace_payload is not None:
+                        trace_payloads[(experiment_id, index)] = trace_payload
                     if index is None:
                         report.units.append(
                             UnitStat(experiment_id, WHOLE_UNIT_KEY, wall_s)
@@ -373,6 +405,8 @@ class ExperimentRunner:
                     if pending_units[experiment_id] == 0 and experiment_id not in results:
                         combine_ready(exp)
 
+        self._ingest_traces(experiments, unit_lists, trace_payloads)
+
         ordered = []
         for exp in experiments:
             result = results.get(exp.experiment_id)
@@ -382,6 +416,39 @@ class ExperimentRunner:
                 )
             ordered.append(result)
         return ordered
+
+    @staticmethod
+    def _ingest_traces(
+        experiments: Sequence[Experiment],
+        unit_lists: Dict[str, List[WorkUnit]],
+        trace_payloads: Dict[Tuple[str, Optional[int]], Dict[str, object]],
+    ) -> None:
+        """Merge worker trace payloads into the parent's ambient tracer.
+
+        Payloads arrive in pool-completion order; replaying them in
+        experiments x units order reconstructs exactly the run sequence
+        a serial execution would have produced, which is what makes
+        serial and parallel trace files byte-identical.
+        """
+        if not trace_payloads:
+            return
+        from repro.obs.trace import get_tracer
+
+        tracer = get_tracer()
+        if tracer is None:
+            return
+        for exp in experiments:
+            experiment_id = exp.experiment_id
+            units = unit_lists.get(experiment_id)
+            if units is None:
+                payload = trace_payloads.get((experiment_id, None))
+                if payload is not None:
+                    tracer.ingest_payload(payload)
+                continue
+            for i in range(len(units)):
+                payload = trace_payloads.get((experiment_id, i))
+                if payload is not None:
+                    tracer.ingest_payload(payload)
 
 
 def outputs_match(a: ExperimentOutput, b: ExperimentOutput) -> bool:

@@ -38,6 +38,9 @@ class RunReport:
     units: List[UnitStat] = field(default_factory=list)
     #: experiment id -> error message, for drivers that raised.
     failures: Dict[str, str] = field(default_factory=dict)
+    #: Tracer roll-up (runs/events/misses + output path) when ``--trace``
+    #: was active; ``None`` for untraced runs.
+    trace_summary: Optional[Dict[str, object]] = None
 
     @property
     def experiment_ids(self) -> List[str]:
@@ -71,6 +74,14 @@ class RunReport:
         if events:
             parts.append(f"{events} subframes")
         parts.append(f"{self.wall_s:.1f}s wall ({self.compute_seconds():.1f}s compute)")
+        if self.trace_summary is not None:
+            parts.append(
+                "trace {runs} runs / {events} events -> {path}".format(
+                    runs=self.trace_summary.get("runs", 0),
+                    events=self.trace_summary.get("events", 0),
+                    path=self.trace_summary.get("path", "?"),
+                )
+            )
         lines = ["[runtime] " + " | ".join(parts)]
         if self.failures:
             failed = ", ".join(sorted(self.failures))
@@ -102,4 +113,5 @@ class RunReport:
                 for s in self.units
             ],
             "failures": dict(self.failures),
+            "trace": self.trace_summary,
         }

@@ -190,15 +190,46 @@ class SubframeRecord:
 
 
 class SchedulerResult:
-    """All per-subframe records of one run, with analysis helpers."""
+    """All per-subframe records of one run, with analysis helpers.
 
-    def __init__(self, scheduler_name: str, config: CRanConfig, records: Sequence[SubframeRecord]):
+    ``core_busy_us`` is the scheduler's own per-core occupancy
+    accounting (local task execution plus migrated batches booked on
+    helper cores).  The tracing subsystem derives the same numbers from
+    the emitted busy spans, and the consistency tests hold the two equal
+    to within 1e-6 — a cross-check between the simulation and its
+    timeline export.  Results reloaded from CSV carry an empty dict.
+    """
+
+    def __init__(
+        self,
+        scheduler_name: str,
+        config: CRanConfig,
+        records: Sequence[SubframeRecord],
+        core_busy_us: Optional[Dict[int, float]] = None,
+    ):
         self.scheduler_name = scheduler_name
         self.config = config
         self.records: List[SubframeRecord] = list(records)
+        self.core_busy_us: Dict[int, float] = dict(core_busy_us or {})
 
     def __len__(self) -> int:
         return len(self.records)
+
+    def utilization(self, horizon_us: Optional[float] = None) -> Dict[int, float]:
+        """Per-core busy fraction over ``horizon_us`` (default: the last
+        recorded finish time).  Empty when the run predates busy
+        accounting (e.g. CSV-reloaded results)."""
+        if not self.core_busy_us:
+            return {}
+        if horizon_us is None:
+            finishes = [r.finish_us for r in self.records if not math.isnan(r.finish_us)]
+            horizon_us = max(finishes) if finishes else 0.0
+        if not horizon_us or horizon_us <= 0:
+            return {core: 0.0 for core in sorted(self.core_busy_us)}
+        return {
+            core: busy / horizon_us
+            for core, busy in sorted(self.core_busy_us.items())
+        }
 
     # -- headline metrics ---------------------------------------------------
 

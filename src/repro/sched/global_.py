@@ -23,10 +23,11 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.trace import RunTrace
 from repro.sched.base import CRanConfig, SchedulerResult, SubframeJob, SubframeRecord
 from repro.sim.engine import Simulator
 from repro.timing.cache import CacheAffinityModel
@@ -55,19 +56,23 @@ class GlobalScheduler:
         cache_model: Optional[CacheAffinityModel] = None,
         dispatch_overhead_us: float = DEFAULT_DISPATCH_OVERHEAD_US,
         queue_capacity: int = 256,
+        trace: Optional[RunTrace] = None,
     ):
         self.config = config
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.cache = cache_model if cache_model is not None else CacheAffinityModel()
         self.dispatch_overhead_us = dispatch_overhead_us
         self.queue_capacity = queue_capacity
+        self.trace = trace
 
     def run(self, jobs: Sequence[SubframeJob]) -> SchedulerResult:
         sim = Simulator()
+        trace = self.trace
         num_cores = self.config.total_cores
         core_idle: List[bool] = [True] * num_cores
         queue: List[_QueueEntry] = []
         records: List[SubframeRecord] = []
+        busy: Dict[int, float] = {}
         seq_counter = [0]
         self.cache.reset()
 
@@ -107,6 +112,11 @@ class GlobalScheduler:
                     record.drop_stage = "dispatch"
                     record.start_us = sim.now
                     record.finish_us = sim.now
+                    if trace is not None:
+                        trace.deadline(
+                            sim.now, -1, True,
+                            record.bs_id, record.index, drop_stage="dispatch",
+                        )
                     continue
                 core_idle[idle_core] = False
                 record.core_id = idle_core
@@ -121,6 +131,17 @@ class GlobalScheduler:
                     record.missed = True
                     finish = job.deadline_us  # terminated at the deadline
                 record.finish_us = finish
+                if finish > start:
+                    busy[idle_core] = busy.get(idle_core, 0.0) + (finish - start)
+                if trace is not None:
+                    trace.task(
+                        idle_core, "process", start, finish,
+                        record.bs_id, record.index,
+                        cache_penalty_us=penalty,
+                    )
+                    trace.deadline(
+                        finish, idle_core, record.missed, record.bs_id, record.index
+                    )
 
                 def complete(core: int = idle_core) -> None:
                     core_idle[core] = True
@@ -131,6 +152,8 @@ class GlobalScheduler:
         def arrive(job: SubframeJob) -> None:
             record = make_record(job)
             records.append(record)
+            if trace is not None:
+                trace.arrival(job.arrival_us, -1, record.bs_id, record.index)
             if len(queue) >= self.queue_capacity:
                 # Ring buffer full: the transport thread overwrites the
                 # oldest pending entry (it can never block, sec. 4.1).
@@ -140,6 +163,12 @@ class GlobalScheduler:
                 oldest.record.drop_stage = "queue-overflow"
                 oldest.record.start_us = sim.now
                 oldest.record.finish_us = sim.now
+                if trace is not None:
+                    trace.deadline(
+                        sim.now, -1, True,
+                        oldest.record.bs_id, oldest.record.index,
+                        drop_stage="queue-overflow",
+                    )
             seq_counter[0] += 1
             heapq.heappush(
                 queue,
@@ -156,4 +185,8 @@ class GlobalScheduler:
         for job in sorted(jobs, key=lambda j: (j.arrival_us, j.subframe.bs_id)):
             sim.schedule(job.arrival_us, lambda j=job: arrive(j))
         sim.run()
-        return SchedulerResult(f"{self.name}-{num_cores}", self.config, records)
+        if trace is not None:
+            trace.meta["sim"] = sim.stats()
+        return SchedulerResult(
+            f"{self.name}-{num_cores}", self.config, records, core_busy_us=busy
+        )

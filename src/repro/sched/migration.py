@@ -29,6 +29,17 @@ from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 
+def _ordered_windows(
+    free_times_us: Sequence[Tuple[int, float]]
+) -> List[Tuple[int, float]]:
+    """Canonical consideration order: biggest window first, core id as a
+    deterministic tie-break.  Sorting *inside* the planners means caller
+    ordering can never change a :class:`MigrationDecision` — previously
+    this was only a documented convention, and an unsorted caller would
+    silently fill small windows before large ones."""
+    return sorted(free_times_us, key=lambda item: (-item[1], item[0]))
+
+
 @dataclass(frozen=True)
 class MigrationDecision:
     """Output of Algorithm 1.
@@ -67,9 +78,10 @@ def plan_migration(
     migration_overhead_us:
         delta — fixed per-subtask migration cost (paper: ~20 us).
     free_times_us:
-        ``(core_id, fck)`` pairs for each idle core, in the order the
-        algorithm should consider them.  Callers typically sort by fck
-        descending so the biggest gaps absorb the most work.
+        ``(core_id, fck)`` pairs for each idle core, in any order: the
+        planner sorts them by descending free time (core id breaking
+        ties) so the biggest gaps absorb the most work regardless of
+        how the caller enumerated the cores.
 
     Returns
     -------
@@ -90,7 +102,7 @@ def plan_migration(
     assignments: List[Tuple[int, int]] = []
     per_subtask_cost = subtask_time_us + migration_overhead_us
 
-    for core_id, free_time in free_times_us:
+    for core_id, free_time in _ordered_windows(free_times_us):
         if remaining <= 1:
             break
         if free_time <= 0:
@@ -129,7 +141,7 @@ def plan_steal_half(
     remaining = num_subtasks
     assignments: List[Tuple[int, int]] = []
     per_subtask_cost = subtask_time_us + migration_overhead_us
-    for core_id, free_time in free_times_us:
+    for core_id, free_time in _ordered_windows(free_times_us):
         if remaining <= 1:
             break
         if free_time <= 0:
@@ -165,7 +177,7 @@ def plan_migrate_all(
     remaining = num_subtasks
     assignments: List[Tuple[int, int]] = []
     per_subtask_cost = subtask_time_us + migration_overhead_us
-    for core_id, free_time in free_times_us:
+    for core_id, free_time in _ordered_windows(free_times_us):
         if remaining <= 1:
             break
         if free_time <= 0:

@@ -29,13 +29,13 @@ points implemented faithfully:
 
 from __future__ import annotations
 
-import bisect
 import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.trace import RunTrace
 from repro.sched.base import (
     CRanConfig,
     MigrationEvent,
@@ -94,6 +94,7 @@ class RtOpexScheduler:
         migrate_fft: bool = True,
         migrate_decode: bool = True,
         planner=None,
+        trace: Optional[RunTrace] = None,
     ):
         self.config = config
         self.rng = rng if rng is not None else np.random.default_rng(0)
@@ -103,6 +104,7 @@ class RtOpexScheduler:
         self.remote_noise = remote_noise if remote_noise is not None else PlatformNoiseModel()
         self.migrate_fft = migrate_fft
         self.migrate_decode = migrate_decode
+        self.trace = trace
         # Migration planner: Algorithm 1 by default; the ablations swap
         # in plan_steal_half / plan_migrate_all from repro.sched.migration.
         if planner is None:
@@ -118,7 +120,13 @@ class RtOpexScheduler:
         num_cores = config.num_basestations * config.cores_per_bs
         cores = [_CoreState() for _ in range(num_cores)]
         records: List[SubframeRecord] = []
+        busy: Dict[int, float] = {}
+        trace = self.trace
         sim = Simulator()
+
+        def note_busy(core: int, start: float, end: float) -> None:
+            if end > start:
+                busy[core] = busy.get(core, 0.0) + (end - start)
 
         # Actual arrival times per core: the preemption instants for
         # migrated batches (equals the planned activations when the
@@ -131,9 +139,19 @@ class RtOpexScheduler:
         for arrivals in core_arrivals.values():
             arrivals.sort()
 
-        def next_actual_arrival(core: int, after: float) -> float:
+        # Index of each core's next not-yet-dispatched arrival.  The
+        # preemption horizon must come from this cursor, not from a
+        # timestamp search: when two subframes arrive at the same
+        # instant, the owner processed first would otherwise see the
+        # helper's pre-arrival idle state, skip the simultaneous arrival
+        # in the lookup, and book a batch that overlaps the helper's own
+        # processing.  A pending arrival bars the core no matter how its
+        # timestamp compares to the window start.
+        arrival_cursor = [0] * num_cores
+
+        def next_pending_arrival(core: int) -> float:
             arrivals = core_arrivals[core]
-            idx = bisect.bisect_right(arrivals, after + 1e-9)
+            idx = arrival_cursor[core]
             return arrivals[idx] if idx < len(arrivals) else math.inf
 
         def planned_activation(core: int, after: float) -> float:
@@ -143,9 +161,9 @@ class RtOpexScheduler:
             # any co-scheduled Tx jobs), so planning consults the
             # arrival table; the closed-form rule covers the span past
             # the end of the trace.
-            actual = next_actual_arrival(core, after)
-            if actual is not math.inf:
-                return actual
+            pending = next_pending_arrival(core)
+            if pending is not math.inf:
+                return pending
             slot = core % config.cores_per_bs
             bs = core // config.cores_per_bs
             return next_partitioned_activation(
@@ -189,6 +207,10 @@ class RtOpexScheduler:
             actual_durations: Sequence[float],
             planned_us: float,
             local_end: float,
+            task_name: str = "",
+            owner: int = -1,
+            bs_id: int = -1,
+            sf_index: int = -1,
         ) -> _BatchOutcome:
             """Book and execute a migrated batch on ``target``.
 
@@ -201,7 +223,7 @@ class RtOpexScheduler:
             arrival is preempted.  Either way the owner recomputes
             whatever is not ready (the recovery state, sec. 3.2.1 B).
             """
-            preempt_at = next_actual_arrival(target, start)
+            preempt_at = next_pending_arrival(target)
             # The owner polls the flag until the batch's planned end plus
             # a small patience margin for nominal kernel jitter; it will
             # not stall behind a helper hit by a long preemption.
@@ -218,6 +240,7 @@ class RtOpexScheduler:
             # The helper burns cycles until it finishes or is preempted.
             booked_until = min(max(cursor, start), preempt_at)
             cores[target].remote_cursor = max(cores[target].remote_cursor, booked_until)
+            note_busy(target, start, booked_until)
 
             # Results are usable up to the first not-ready subtask;
             # execution is sequential so usability is a prefix.
@@ -230,6 +253,24 @@ class RtOpexScheduler:
                 else:
                     break
             recovered = list(actual_durations[completed:])
+            if trace is not None:
+                trace.migration_executed(
+                    target, task_name, start, booked_until,
+                    owner_core=owner, shipped=len(actual_durations),
+                    completed=completed, bs_id=bs_id, sf_index=sf_index,
+                )
+                # Per-subtask spans, nested in the batch span: fully
+                # executed subtasks plus the one the preemption cut.
+                for k, sub_end in enumerate(subtask_ends):
+                    sub_start = sub_end - actual_durations[k] - self.subtask_overhead_us
+                    if sub_start >= booked_until:
+                        break
+                    trace.subtask(
+                        target, f"{task_name}[{k}]",
+                        sub_start, min(sub_end, booked_until),
+                        bs_id=bs_id, sf_index=sf_index,
+                        preempted=sub_end > booked_until,
+                    )
             actual_total = (subtask_ends[completed - 1] - start) if completed else 0.0
             return _BatchOutcome(
                 target_core=target,
@@ -295,6 +336,12 @@ class RtOpexScheduler:
             local_ids = list(range(local_count))
             remote_ids = list(range(local_count, len(subtasks)))
             local_end = now + task.serial_us + sum(subtasks[i].duration_us for i in local_ids)
+            if trace is not None:
+                trace.migration_planned(
+                    earliest_start, me, task_name, shipped,
+                    [target for target, _, _, _ in assignments],
+                    bs_id=record.bs_id, sf_index=record.index,
+                )
 
             stage_end = local_end
             cursor = 0
@@ -302,7 +349,11 @@ class RtOpexScheduler:
                 ids = remote_ids[cursor : cursor + count]
                 cursor += count
                 durations = [subtasks[i].duration_us for i in ids]
-                outcome = execute_batch(target, batch_start, durations, planned, local_end)
+                outcome = execute_batch(
+                    target, batch_start, durations, planned, local_end,
+                    task_name=task_name, owner=me,
+                    bs_id=record.bs_id, sf_index=record.index,
+                )
                 if outcome.completed:
                     stage_end = max(stage_end, outcome.ready_time)
                 # Recovery: recompute preempted subtasks locally, after
@@ -310,6 +361,13 @@ class RtOpexScheduler:
                 recovery = sum(outcome.recovered_durations)
                 if recovery:
                     stage_end = max(stage_end, local_end) + recovery
+                if trace is not None:
+                    trace.migration_returned(
+                        max(local_end, outcome.ready_time), me, task_name,
+                        completed=outcome.completed,
+                        recovered=len(outcome.recovered_durations),
+                        bs_id=record.bs_id, sf_index=record.index,
+                    )
                 record.migrations.append(
                     MigrationEvent(
                         task=task_name,
@@ -340,6 +398,11 @@ class RtOpexScheduler:
             if end > deadline:
                 record.missed = True
                 end = deadline
+            # The owner occupies its core for the whole stage — local
+            # subtasks, flag polling, and recovery are one busy span.
+            note_busy(me, now, end)
+            if trace is not None:
+                trace.task(me, "decode", now, end, record.bs_id, record.index)
             finalize(job, record, end, me)
 
         def finalize(job: SubframeJob, record: SubframeRecord, finish: float, me: int) -> None:
@@ -361,10 +424,22 @@ class RtOpexScheduler:
                 cores[me].busy_until = activation
             else:
                 cores[me].busy_until = finish
+            if trace is not None:
+                trace.deadline(
+                    finish, me, record.missed or record.dropped,
+                    record.bs_id, record.index, drop_stage=record.drop_stage,
+                )
+                trace.gap(
+                    me, finish, record.gap_us, record.bs_id, record.index,
+                    usable=not record.dropped,
+                )
 
         def arrive(job: SubframeJob) -> None:
             sf = job.subframe
             me = assigned_core_for(job, config.cores_per_bs)
+            # This arrival is being dispatched: the next preemption
+            # barrier on this core is the one after it.
+            arrival_cursor[me] += 1
             record = SubframeRecord(
                 bs_id=sf.bs_id,
                 index=sf.index,
@@ -380,6 +455,8 @@ class RtOpexScheduler:
             now = max(job.arrival_us, cores[me].busy_until)
             record.queue_delay_us = now - job.arrival_us
             record.start_us = now
+            if trace is not None:
+                trace.arrival(job.arrival_us, me, sf.bs_id, sf.index)
             # The arrival preempts any migrated batch on this core.
             cores[me].remote_cursor = min(cores[me].remote_cursor, now)
             cores[me].busy_until = job.deadline_us  # refined when finish is known
@@ -392,6 +469,9 @@ class RtOpexScheduler:
                 if end > job.deadline_us:
                     record.missed = True
                     end = job.deadline_us
+                note_busy(me, now, end)
+                if trace is not None:
+                    trace.task(me, "serial", now, end, sf.bs_id, sf.index)
                 finalize(job, record, end, me)
                 return
 
@@ -399,6 +479,12 @@ class RtOpexScheduler:
             fft_end = run_parallelizable_stage(job, record, "fft", now, me, self.migrate_fft)
             # demod stage: serial; the platform error E lands here.
             demod_end = fft_end + job.work.task("demod").serial_duration_us + job.noise_us
+            deadline = job.deadline_us
+            note_busy(me, now, min(fft_end, deadline))
+            note_busy(me, fft_end, min(demod_end, deadline))
+            if trace is not None:
+                trace.task(me, "fft", now, min(fft_end, deadline), sf.bs_id, sf.index)
+                trace.task(me, "demod", fft_end, min(demod_end, deadline), sf.bs_id, sf.index)
             if demod_end > job.deadline_us:
                 record.missed = True
                 finalize(job, record, job.deadline_us, me)
@@ -409,4 +495,6 @@ class RtOpexScheduler:
         for job in ordered_jobs:
             sim.schedule(job.arrival_us, lambda j=job: arrive(j))
         sim.run()
-        return SchedulerResult(self.name, config, records)
+        if trace is not None:
+            trace.meta["sim"] = sim.stats()
+        return SchedulerResult(self.name, config, records, core_busy_us=busy)

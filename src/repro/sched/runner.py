@@ -133,9 +133,35 @@ def run_scheduler(
     ``name`` is one of ``partitioned``, ``global`` (respects
     ``config.num_cores``), or ``rt-opex``; extra keyword arguments are
     forwarded to the scheduler constructor.
+
+    When an ambient tracer is installed (see :mod:`repro.obs`), each
+    invocation opens its own :class:`~repro.obs.trace.RunTrace` — one
+    Perfetto process per scheduler run — and the instrumented schedulers
+    emit their timelines into it.  Tracing never touches the RNG
+    streams, so traced and untraced runs produce identical results.
     """
+    from repro.obs.trace import get_tracer
     from repro.sched.cloudiq import CloudIqScheduler
     from repro.sched.pran import PranScheduler
+
+    tracer = get_tracer()
+    if tracer is not None and name in (
+        "partitioned", "global", "rt-opex", "rtopex"
+    ) and "trace" not in kwargs:
+        label = (
+            f"{name} rtt={config.transport_latency_us:g}us "
+            f"cores={config.total_cores}"
+        )
+        kwargs["trace"] = tracer.begin_run(
+            label,
+            scheduler=name,
+            meta={
+                "rtt_us": config.transport_latency_us,
+                "cores": config.total_cores,
+                "jobs": len(jobs),
+                "seed": seed,
+            },
+        )
 
     streams = RngStreams(seed)
     if name == "partitioned":

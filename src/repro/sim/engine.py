@@ -5,13 +5,31 @@ callbacks.  Ties at the same timestamp are broken first by an explicit
 priority (so e.g. a core-release event can be guaranteed to run before a
 same-instant arrival) and then by insertion order, which makes runs fully
 deterministic.
+
+Cancellation is lazy — ``Event.cancel`` only flags the entry — but the
+heap is compacted whenever flagged entries outnumber live ones (beyond a
+small floor), so long runs that cancel aggressively stay bounded by the
+live-event population instead of leaking every dead entry until drain.
+A live-event counter is maintained incrementally, making ``pending()``
+O(1) instead of an O(n) scan.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
+
+#: Relative component of the schedule-in-the-past tolerance.  Float
+#: microsecond timestamps accumulate rounding of a few ulps over long
+#: horizons (ulp(1e9 us) ~ 1.2e-7), so the guard scales with ``now``
+#: while staying far below the engine's microsecond resolution.
+RELATIVE_EPSILON = 1e-12
+#: Absolute floor of the tolerance (the original fixed guard).
+ABSOLUTE_EPSILON = 1e-9
+
+#: Compaction floor: never rebuild the heap over fewer dead entries.
+_MIN_PURGE = 16
 
 
 @dataclass(order=True)
@@ -23,10 +41,18 @@ class Event:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Owning simulator, so ``cancel`` can keep its live count exact.
+    _owner: Optional["Simulator"] = field(default=None, compare=False, repr=False)
+    #: Whether the entry still sits in the owner's heap.
+    _queued: bool = field(default=False, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event dead; it will be skipped when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._owner is not None and self._queued:
+            self._owner._on_cancel()
 
 
 class Simulator:
@@ -37,6 +63,11 @@ class Simulator:
         self._seq = 0
         self._now = 0.0
         self._running = False
+        self._live = 0  # non-cancelled entries in the heap
+        self._dead = 0  # cancelled entries awaiting compaction
+        self._executed = 0
+        self._purges = 0
+        self._max_heap = 0
 
     @property
     def now(self) -> float:
@@ -47,13 +78,21 @@ class Simulator:
         """Schedule ``callback`` at absolute virtual ``time``.
 
         Scheduling in the past is a logic error and raises immediately —
-        silently clamping would hide causality bugs in schedulers.
+        silently clamping would hide causality bugs in schedulers.  The
+        tolerance is relative to ``now`` (plus a tiny absolute floor) so
+        same-instant re-schedules survive the float rounding that
+        millions of accumulated microseconds produce.
         """
-        if time < self._now - 1e-9:
+        if time < self._now - (ABSOLUTE_EPSILON + RELATIVE_EPSILON * abs(self._now)):
             raise ValueError(f"cannot schedule at {time} before now={self._now}")
         self._seq += 1
         event = Event(time=max(time, self._now), priority=priority, seq=self._seq, callback=callback)
+        event._owner = self
+        event._queued = True
         heapq.heappush(self._queue, event)
+        self._live += 1
+        if len(self._queue) > self._max_heap:
+            self._max_heap = len(self._queue)
         return event
 
     def schedule_in(self, delay: float, callback: Callable[[], None], priority: int = 0) -> Event:
@@ -78,8 +117,12 @@ class Simulator:
                     self._now = until
                     break
                 heapq.heappop(self._queue)
+                event._queued = False
                 if event.cancelled:
+                    self._dead -= 1
                     continue
+                self._live -= 1
+                self._executed += 1
                 self._now = event.time
                 event.callback()
             else:
@@ -90,5 +133,38 @@ class Simulator:
         return self._now
 
     def pending(self) -> int:
-        """Number of live events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of live events still queued (O(1))."""
+        return self._live
+
+    def stats(self) -> Dict[str, int]:
+        """Engine counters for telemetry/trace metadata."""
+        return {
+            "executed": self._executed,
+            "live": self._live,
+            "cancelled_pending": self._dead,
+            "heap_size": len(self._queue),
+            "max_heap_size": self._max_heap,
+            "purges": self._purges,
+        }
+
+    # -- cancellation bookkeeping --------------------------------------------
+
+    def _on_cancel(self) -> None:
+        """A queued event was cancelled; compact once dead entries win."""
+        self._live -= 1
+        self._dead += 1
+        if self._dead >= _MIN_PURGE and self._dead * 2 > len(self._queue):
+            self._purge()
+
+    def _purge(self) -> None:
+        """Drop every cancelled entry and re-heapify the survivors."""
+        live: List[Event] = []
+        for event in self._queue:
+            if event.cancelled:
+                event._queued = False
+            else:
+                live.append(event)
+        heapq.heapify(live)
+        self._queue = live
+        self._dead = 0
+        self._purges += 1

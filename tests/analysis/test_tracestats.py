@@ -1,0 +1,123 @@
+"""Unit tests for the trace-derived metric aggregators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import tracestats
+from repro.obs.trace import RunTrace
+
+
+def make_run() -> RunTrace:
+    run = RunTrace("test-run", scheduler="rt-opex")
+    # Core 0: two busy spans (task + migrated batch) and two gaps.
+    run.task(0, "fft", 0.0, 100.0, 0, 0)
+    run.gap(0, 100.0, 400.0, 0, 0)
+    run.migration_executed(0, "decode", 500.0, 650.0, owner_core=1, shipped=2, completed=2)
+    run.gap(0, 650.0, 350.0, 0, 1, usable=False)
+    # Core 1: one long task; subtask spans must not count as busy.
+    run.task(1, "decode", 0.0, 600.0, 1, 0)
+    run.subtask(0, "decode[0]", 520.0, 580.0, 1, 0)
+    # Verdicts: 2 hits, 1 miss.
+    run.deadline(600.0, 1, False, 1, 0)
+    run.deadline(650.0, 0, True, 0, 0, drop_stage="decode")
+    run.deadline(700.0, 0, False, 0, 1)
+    return run
+
+
+class TestBusyMetrics:
+    def test_core_busy_us(self):
+        busy = tracestats.core_busy_us(make_run())
+        assert busy == {0: pytest.approx(250.0), 1: pytest.approx(600.0)}
+
+    def test_subtasks_excluded_from_busy(self):
+        run = RunTrace("r")
+        run.subtask(0, "decode[0]", 0.0, 100.0)
+        assert tracestats.core_busy_us(run) == {}
+
+    def test_busy_spans_sorted(self):
+        spans = tracestats.busy_spans(make_run())
+        assert spans[0] == [(0.0, 100.0), (500.0, 650.0)]
+
+    def test_utilization_explicit_horizon(self):
+        util = tracestats.core_utilization(make_run(), horizon_us=1000.0)
+        assert util == {0: pytest.approx(0.25), 1: pytest.approx(0.6)}
+
+    def test_utilization_default_horizon_is_last_event_end(self):
+        util = tracestats.core_utilization(make_run())
+        assert util[1] == pytest.approx(600.0 / 1000.0)  # last gap ends at 1000
+
+    def test_accepts_raw_event_list(self):
+        run = make_run()
+        assert tracestats.core_busy_us(run.events) == tracestats.core_busy_us(run)
+
+
+class TestOverlaps:
+    def test_clean_run_has_none(self):
+        assert tracestats.find_overlaps(make_run()) == []
+
+    def test_detects_overlap(self):
+        run = RunTrace("r")
+        run.task(0, "a", 0.0, 100.0)
+        run.task(0, "b", 50.0, 150.0)
+        violations = tracestats.find_overlaps(run)
+        assert violations == [(0, 100.0, 50.0)]
+
+    def test_different_cores_never_overlap(self):
+        run = RunTrace("r")
+        run.task(0, "a", 0.0, 100.0)
+        run.task(1, "b", 50.0, 150.0)
+        assert tracestats.find_overlaps(run) == []
+
+    def test_touching_spans_allowed(self):
+        run = RunTrace("r")
+        run.task(0, "a", 0.0, 100.0)
+        run.task(0, "b", 100.0, 200.0)
+        assert tracestats.find_overlaps(run) == []
+
+
+class TestDeadlines:
+    def test_miss_count(self):
+        assert tracestats.deadline_miss_count(make_run()) == 1
+
+    def test_verdicts(self):
+        assert tracestats.deadline_verdicts(make_run()) == (2, 1)
+
+
+class TestGapMetrics:
+    def test_samples(self):
+        samples = tracestats.gap_samples(make_run())
+        assert sorted(samples) == [350.0, 400.0]
+
+    def test_usable_only_filter(self):
+        samples = tracestats.gap_samples(make_run(), usable_only=True)
+        assert list(samples) == [400.0]
+
+    def test_cdf(self):
+        xs, ps = tracestats.gap_cdf(make_run())
+        assert list(xs) == [350.0, 400.0]
+        assert list(ps) == [0.5, 1.0]
+
+    def test_cdf_empty(self):
+        xs, ps = tracestats.gap_cdf(RunTrace("r"))
+        assert xs.size == 0 and ps.size == 0
+
+    def test_histogram(self):
+        counts = tracestats.gap_histogram(make_run(), [0.0, 375.0, 500.0])
+        assert list(counts) == [1, 1]
+
+    def test_summary(self):
+        summary = tracestats.gap_summary(make_run(), threshold_us=360.0)
+        assert summary["count"] == 2.0
+        assert summary["median_us"] == pytest.approx(375.0)
+        assert summary["tail_fraction"] == pytest.approx(0.5)
+
+    def test_summary_empty(self):
+        summary = tracestats.gap_summary(RunTrace("r"))
+        assert summary["count"] == 0.0
+        assert math.isnan(summary["median_us"])
+        assert math.isnan(summary["tail_fraction"])
+
+    def test_samples_are_float_arrays(self):
+        assert tracestats.gap_samples(make_run()).dtype == np.float64

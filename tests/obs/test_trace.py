@@ -1,0 +1,154 @@
+"""Tests for the trace event vocabulary and collection layer."""
+
+import pytest
+
+from repro.obs.events import (
+    ARRIVAL,
+    BUSY_KINDS,
+    DEADLINE,
+    EVENT_KINDS,
+    GAP,
+    MIGRATION_EXECUTED,
+    SPAN_KINDS,
+    SUBTASK,
+    TASK,
+    TraceEvent,
+)
+from repro.obs.trace import RunTrace, Tracer, get_tracer, set_tracer, tracing
+
+
+class TestTraceEvent:
+    def test_end_us(self):
+        event = TraceEvent(TASK, 10.0, 0, dur_us=5.0)
+        assert event.end_us == 15.0
+
+    def test_dict_round_trip(self):
+        event = TraceEvent(
+            MIGRATION_EXECUTED, 123.5, 3, name="decode", dur_us=40.25,
+            bs_id=1, sf_index=17, args={"owner": 2, "shipped": 3, "completed": 2},
+        )
+        assert TraceEvent.from_dict(event.to_dict()) == event
+
+    def test_to_dict_omits_defaults(self):
+        event = TraceEvent(ARRIVAL, 1.0, -1)
+        payload = event.to_dict()
+        assert payload == {"kind": ARRIVAL, "ts_us": 1.0, "core": -1}
+
+    def test_kind_sets_consistent(self):
+        assert set(BUSY_KINDS) <= set(SPAN_KINDS) <= set(EVENT_KINDS)
+        assert SUBTASK in SPAN_KINDS and SUBTASK not in BUSY_KINDS
+
+
+class TestRunTrace:
+    def test_task_span(self):
+        run = RunTrace("r")
+        run.task(2, "fft", 10.0, 25.0, 1, 4)
+        (event,) = run.events
+        assert event.kind == TASK
+        assert (event.core, event.name, event.ts_us, event.dur_us) == (2, "fft", 10.0, 15.0)
+        assert (event.bs_id, event.sf_index) == (1, 4)
+
+    def test_empty_spans_skipped(self):
+        run = RunTrace("r")
+        run.task(0, "fft", 10.0, 10.0)
+        run.subtask(0, "decode[0]", 5.0, 4.0)
+        run.gap(0, 10.0, 0.0)
+        assert run.events == []
+
+    def test_deadline_verdict(self):
+        run = RunTrace("r")
+        run.deadline(100.0, 1, False, 0, 0)
+        run.deadline(200.0, 1, True, 0, 1, drop_stage="decode")
+        hit, miss = run.events
+        assert (hit.name, hit.args["missed"]) == ("hit", False)
+        assert (miss.name, miss.args["missed"]) == ("miss", True)
+        assert miss.args["drop_stage"] == "decode"
+        assert "drop_stage" not in hit.args
+
+    def test_gap_usable_flag(self):
+        run = RunTrace("r")
+        run.gap(3, 50.0, 100.0, usable=False)
+        assert run.events[0].kind == GAP
+        assert run.events[0].args == {"usable": False}
+
+    def test_payload_round_trip(self):
+        run = RunTrace("label", scheduler="rt-opex", meta={"rtt_us": 500.0})
+        run.arrival(1.0, 2, 0, 0)
+        run.migration_planned(3.0, 2, "fft", 2, [4, 5], 0, 0)
+        run.migration_executed(4, "fft", 5.0, 30.0, owner_core=2, shipped=2, completed=2)
+        run.migration_returned(31.0, 2, "fft", completed=2, recovered=0)
+        restored = RunTrace.from_payload(run.to_payload())
+        assert restored.label == run.label
+        assert restored.scheduler == run.scheduler
+        assert restored.meta == run.meta
+        assert restored.events == run.events
+
+
+class TestTracer:
+    def test_begin_run_appends(self):
+        tracer = Tracer()
+        a = tracer.begin_run("a")
+        b = tracer.begin_run("b", scheduler="global")
+        assert tracer.runs == [a, b]
+        assert len(tracer) == 2
+
+    def test_summary_counts_kinds_and_misses(self):
+        tracer = Tracer()
+        run = tracer.begin_run("r")
+        run.task(0, "fft", 0.0, 10.0)
+        run.deadline(10.0, 0, True, 0, 0)
+        run.deadline(20.0, 0, False, 0, 1)
+        summary = tracer.summary()
+        assert summary["runs"] == 1
+        assert summary["events"] == 3
+        assert summary["deadline_misses"] == 1
+        assert summary["kinds"] == {DEADLINE: 2, TASK: 1}
+
+    def test_drain_and_ingest_round_trip(self):
+        source = Tracer()
+        source.begin_run("one").task(0, "fft", 0.0, 5.0)
+        source.begin_run("two").arrival(1.0, -1, 0, 0)
+        payload = source.drain_payload()
+        assert source.runs == []  # drained
+        sink = Tracer()
+        sink.ingest_payload(payload)
+        assert [run.label for run in sink.runs] == ["one", "two"]
+        assert sink.num_events() == 2
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.begin_run("r").task(0, "fft", 0.0, 1.0)
+        tracer.clear()
+        assert tracer.runs == [] and tracer.num_events() == 0
+
+
+class TestAmbientTracer:
+    @pytest.fixture(autouse=True)
+    def no_leak(self):
+        yield
+        set_tracer(None)
+
+    def test_disabled_by_default(self):
+        assert get_tracer() is None
+
+    def test_tracing_context_installs_and_restores(self):
+        outer = Tracer()
+        inner = Tracer()
+        with tracing(outer):
+            assert get_tracer() is outer
+            with tracing(inner):
+                assert get_tracer() is inner
+            assert get_tracer() is outer
+        assert get_tracer() is None
+
+    def test_tracing_restores_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracing(tracer):
+                raise RuntimeError("boom")
+        assert get_tracer() is None
+
+    def test_tracing_none_disables(self):
+        with tracing(Tracer()):
+            with tracing(None):
+                assert get_tracer() is None

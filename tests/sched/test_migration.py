@@ -1,11 +1,17 @@
 """Property tests for Algorithm 1 (the migration planner)."""
 
 import math
+import random
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.sched.migration import MigrationDecision, plan_migration
+from repro.sched.migration import (
+    MigrationDecision,
+    plan_migrate_all,
+    plan_migration,
+    plan_steal_half,
+)
 
 # Core ids are unique: the caller (RT-OPEX) enumerates distinct cores.
 windows = st.lists(
@@ -150,3 +156,48 @@ class TestDecision:
         decision = MigrationDecision(assignments=((0, 2), (3, 1)), local_subtasks=3)
         assert decision.migrated_subtasks == 3
         assert decision.num_targets == 2
+
+
+ALL_PLANNERS = (plan_migration, plan_steal_half, plan_migrate_all)
+
+
+class TestWindowOrderInvariance:
+    """The planners sort the free windows internally, so the caller's
+    enumeration order must never change the decision.  This was
+    previously only a documented convention (``free_times_us`` "sorted by
+    descending free time") that no call site enforced."""
+
+    @pytest.mark.parametrize("planner", ALL_PLANNERS)
+    @given(
+        p=st.integers(0, 64),
+        tp=st.floats(0.1, 1000.0),
+        delta=st.floats(0.0, 100.0),
+        free=windows,
+        order_seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_shuffled_windows_same_decision(self, planner, p, tp, delta, free, order_seed):
+        shuffled = list(free)
+        random.Random(order_seed).shuffle(shuffled)
+        assert planner(p, tp, delta, shuffled) == planner(p, tp, delta, free)
+
+    @pytest.mark.parametrize("planner", ALL_PLANNERS)
+    @given(
+        p=st.integers(0, 64),
+        tp=st.floats(0.1, 1000.0),
+        delta=st.floats(0.0, 100.0),
+        free=windows,
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_reversed_windows_same_decision(self, planner, p, tp, delta, free):
+        assert planner(p, tp, delta, list(reversed(free))) == planner(p, tp, delta, free)
+
+    def test_unsorted_caller_gets_largest_window_first(self):
+        # Ascending input: the planner must still fill the big window
+        # first (it would previously have filled core 7's small window).
+        decision = plan_migration(6, 100.0, 20.0, [(7, 130.0), (2, 100_000.0)])
+        assert decision.assignments == ((2, 3),)
+
+    def test_equal_windows_tie_break_by_core_id(self):
+        decision = plan_migration(6, 100.0, 20.0, [(5, 130.0), (1, 130.0), (3, 130.0)])
+        assert [core for core, _ in decision.assignments] == [1, 3, 5]

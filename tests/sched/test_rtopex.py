@@ -57,8 +57,12 @@ class TestMigrationBehaviour:
         assert t_opex < heavy.serial_time_us - 500.0
 
     def test_fft_migration_ubiquitous(self, small_config, small_workload):
+        # A core with a subframe arriving at the same instant is not a
+        # valid helper (its own work preempts immediately), which rules
+        # out the same-slot cores of the other basestations; most FFTs
+        # still find an idle other-slot core to ship subtasks to.
         opex = RtOpexScheduler(small_config, rng=np.random.default_rng(0)).run(small_workload)
-        assert opex.migration_fraction("fft") > 0.75
+        assert opex.migration_fraction("fft") > 0.6
 
     def test_disabling_migration_recovers_partitioned(self, small_config, small_workload):
         opex = RtOpexScheduler(

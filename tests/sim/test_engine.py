@@ -120,3 +120,128 @@ class TestScheduling:
             return log
 
         assert run_once() == run_once()
+
+
+class TestHeapCompaction:
+    def test_cancelled_events_do_not_accumulate(self):
+        # Regression: cancelled entries used to sit in the heap until
+        # popped, so a workload that schedules and cancels N timeouts
+        # grew the heap to N.  With lazy compaction the heap stays
+        # bounded by the live population (x2 plus the purge floor).
+        sim = Simulator()
+        keep = sim.schedule(1e9, lambda: None)
+        for i in range(10_000):
+            event = sim.schedule(1000.0 + i, lambda: None)
+            event.cancel()
+        assert sim.pending() == 1
+        assert len(sim._queue) <= 2 * sim.pending() + 16
+        keep.cancel()
+
+    def test_purge_preserves_execution_order(self):
+        sim = Simulator()
+        log = []
+        events = [
+            sim.schedule(float(i), lambda i=i: log.append(i)) for i in range(100)
+        ]
+        for i, event in enumerate(events):
+            if i % 3:
+                event.cancel()
+        sim.run()
+        assert log == [i for i in range(100) if not i % 3]
+
+    def test_pending_is_live_counter(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(50)]
+        assert sim.pending() == 50
+        for event in events[:30]:
+            event.cancel()
+        assert sim.pending() == 20
+        sim.run()
+        assert sim.pending() == 0
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending() == 1
+
+    def test_cancel_after_execution_is_harmless(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        event.cancel()  # already popped: must not corrupt the counters
+        assert sim.pending() == 0
+        assert sim.stats()["cancelled_pending"] == 0
+
+    def test_stats_counters(self):
+        sim = Simulator()
+        done = sim.schedule(1.0, lambda: None)
+        dead = sim.schedule(2.0, lambda: None)
+        dead.cancel()
+        sim.run()
+        stats = sim.stats()
+        assert stats["executed"] == 1
+        assert stats["live"] == 0
+        assert stats["heap_size"] == 0
+        assert stats["max_heap_size"] == 2
+        assert done.cancelled is False
+
+    def test_purge_counted_in_stats(self):
+        sim = Simulator()
+        for i in range(100):
+            sim.schedule(float(i + 1), lambda: None).cancel()
+        assert sim.stats()["purges"] >= 1
+        assert sim.stats()["heap_size"] <= 16
+
+
+class TestPastScheduleTolerance:
+    def test_tolerance_scales_with_now(self):
+        # At now ~ 1e9 us (a ~17 min simulated horizon) one float ulp is
+        # ~1.2e-7 — far beyond the old absolute 1e-9 guard.  Scheduling
+        # "now minus a few ulps" must be accepted as same-instant.
+        sim = Simulator()
+        log = []
+        base = 1e9
+
+        def at_base():
+            earlier = sim.now - sim.now * 1e-13  # a few ulps back
+            assert earlier < sim.now
+            sim.schedule(earlier, lambda: log.append(sim.now))
+
+        sim.schedule(base, at_base)
+        sim.run()
+        assert log == [base]  # clamped to now, not rejected
+
+    def test_genuine_past_still_rejected_at_long_horizon(self):
+        sim = Simulator()
+        sim.schedule(1e9, lambda: sim.schedule(1e9 - 1.0, lambda: None))
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_long_horizon_chain_deterministic(self):
+        # A subframe-style periodic chain deep into a long horizon: every
+        # step also schedules a same-instant event computed by a float
+        # detour ((now + step) - step lands a few ulps off now).  The
+        # old absolute guard rejected these past ~1e7 us; the relative
+        # guard must keep the chain alive and fully deterministic.
+        def run_once():
+            sim = Simulator()
+            counts = [0, 0]
+            step = 1000.0 / 3.0  # not representable: rounding accumulates
+
+            def tick():
+                counts[0] += 1
+                if counts[0] < 2000:
+                    same_instant = (sim.now + step) - step
+                    sim.schedule(same_instant, lambda: counts.__setitem__(1, counts[1] + 1))
+                    sim.schedule(sim.now + step, tick)
+
+            sim.schedule(1e9, tick)  # start ~17 simulated minutes in
+            sim.run()
+            return tuple(counts)
+
+        first = run_once()
+        assert first == (2000, 1999)
+        assert run_once() == first

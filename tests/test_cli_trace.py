@@ -1,0 +1,104 @@
+"""End-to-end --trace smoke tests (pytest -m trace_smoke selects them).
+
+Runs a tiny fig15 through the real CLI with tracing on and freezes the
+external contract: the emitted file is schema-valid Chrome trace JSON,
+Perfetto-loadable (one process per scheduler run, per-core threads), and
+its deadline verdict events reproduce the run's miss counts exactly.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.base import scaled_subframes
+from repro.obs.events import DEADLINE
+from repro.obs.export import read_jsonl_trace
+from repro.obs.schema import assert_valid_chrome_trace
+
+pytestmark = pytest.mark.trace_smoke
+
+SCALE = "0.01"
+
+
+class TestTraceSmoke:
+    @pytest.fixture(scope="class")
+    def chrome_doc(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("trace") / "fig15.json"
+        capture = {}
+        assert main(
+            ["fig15", "--scale", SCALE, "--no-cache", "--trace", str(path)]
+        ) == 0
+        capture["document"] = json.loads(path.read_text())
+        return capture["document"]
+
+    def test_chrome_trace_is_schema_valid(self, chrome_doc):
+        assert_valid_chrome_trace(chrome_doc)
+
+    def test_one_process_per_scheduler_run(self, chrome_doc):
+        runs = chrome_doc["otherData"]["runs"]
+        assert len(runs) == 28  # 7 RTT points x 4 scheduler invocations
+        assert any("partitioned" in label for label in runs)
+        assert any("rt-opex" in label for label in runs)
+        assert any("global" in label for label in runs)
+        process_names = {
+            e["pid"]: e["args"]["name"]
+            for e in chrome_doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert [process_names[pid] for pid in sorted(process_names)] == runs
+
+    def test_deadline_misses_reproduce_experiment_counts(self, chrome_doc):
+        from repro.experiments import run_experiment
+
+        traced_misses = sum(
+            1
+            for e in chrome_doc["traceEvents"]
+            if e.get("cat") == DEADLINE and e["args"].get("missed")
+        )
+        output = run_experiment("fig15", scale=float(SCALE), seed=2016)
+        num_subframes = scaled_subframes(float(SCALE))
+        records_per_run = 4 * num_subframes  # 4 basestations
+        expected = round(
+            sum(
+                rate * records_per_run
+                for name in ("partitioned", "global-8", "global-16", "rt-opex")
+                for rate in output.data[name]
+            )
+        )
+        assert traced_misses == expected
+
+    def test_spans_within_deadline_budget(self, chrome_doc):
+        spans = [
+            e for e in chrome_doc["traceEvents"]
+            if e["ph"] == "X" and e["cat"] in ("task", "migration_executed")
+        ]
+        assert spans
+        assert all(e["dur"] <= 2000.0 + 1e-6 for e in spans)  # Tmax budget
+
+    def test_jsonl_format_round_trips(self, tmp_path, capsys):
+        path = tmp_path / "fig4.jsonl"
+        assert main(
+            ["fig4", "--no-cache", "--trace", str(path), "--trace-format", "jsonl"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trace" in out and str(path) in out
+        tracer = read_jsonl_trace(path)
+        # fig4 exercises no schedulers, so the trace is present but empty.
+        assert tracer.runs == []
+
+    def test_trace_summary_in_json_report(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.json"
+        report_path = tmp_path / "report.json"
+        assert main(
+            [
+                "fig4", "--no-cache",
+                "--trace", str(trace_path), "--json", str(report_path),
+            ]
+        ) == 0
+        report = json.loads(report_path.read_text())
+        trace = report["trace"]
+        assert trace["runs"] == 0  # fig4 invokes no schedulers
+        assert trace["path"] == str(trace_path)
+        assert trace["format"] == "chrome"
+        assert trace["deadline_misses"] == 0
