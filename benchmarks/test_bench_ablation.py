@@ -10,11 +10,9 @@
 import numpy as np
 import pytest
 
-from repro.sched import CRanConfig, PartitionedScheduler, RtOpexScheduler, build_workload
+from repro.sched import CRanConfig, PartitionedScheduler, RtOpexScheduler
 from repro.sched.migration import plan_migration
 from repro.timing.platform import PlatformNoiseModel
-
-from benchmarks.conftest import BENCH_SEED
 
 
 def run_opex(jobs, **kwargs):

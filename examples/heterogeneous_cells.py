@@ -13,8 +13,6 @@ Run:  python examples/heterogeneous_cells.py [num_subframes]
 
 import sys
 
-import numpy as np
-
 from repro import CRanConfig, build_workload, run_scheduler
 from repro.analysis.report import Table
 from repro.workload.traces import BasestationTraceConfig, CellularTraceGenerator

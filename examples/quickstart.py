@@ -37,7 +37,8 @@ def main() -> None:
         result = run_scheduler(name, cfg, jobs)
         s = result.summary()
         table.add_row(
-            [result.scheduler_name, s["miss_rate"], s["ack_rate"], s["mean_proc_us"], s["p99_proc_us"]]
+            [result.scheduler_name, s["miss_rate"], s["ack_rate"],
+             s["mean_proc_us"], s["p99_proc_us"]]
         )
         if name == "rt-opex":
             counts = result.migration_counts()

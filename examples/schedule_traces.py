@@ -10,8 +10,6 @@ and RT-OPEX migrating a decode subtask into another core's gap
 Run:  python examples/schedule_traces.py
 """
 
-import numpy as np
-
 from repro import CRanConfig, run_scheduler
 from repro.lte.grid import GridConfig
 from repro.lte.subframe import Subframe, UplinkGrant

@@ -23,7 +23,15 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.obs.events import BUSY_KINDS, DEADLINE, GAP, TraceEvent
+from repro.obs.events import (
+    BUSY_KINDS,
+    DEADLINE,
+    GAP,
+    MIGRATION_EXECUTED,
+    MIGRATION_PLANNED,
+    MIGRATION_RETURNED,
+    TraceEvent,
+)
 from repro.obs.trace import RunTrace
 
 #: Tolerance for span-overlap detection: well below one nanosecond of
@@ -112,6 +120,35 @@ def deadline_verdicts(run: "RunTrace | Iterable[TraceEvent]") -> Tuple[int, int]
         else:
             hits += 1
     return hits, misses
+
+
+# -- migration flows (Perfetto arrows, reconstructed) --------------------------
+
+def migration_flows(
+    run: "RunTrace | Iterable[TraceEvent]",
+) -> Dict[int, Dict[str, TraceEvent]]:
+    """Per-batch ``{"planned", "executed", "returned"}`` event triples.
+
+    Reassembles the same linkage the Chrome exporter renders as flow
+    arrows, keyed by the batch ids the schedulers stamp into event args
+    (``batches`` on the planned event, ``batch`` on the executed and
+    returned ones).  Batches missing a stage — e.g. a trace truncated
+    mid-run — simply lack that key in their dict.
+    """
+    flows: Dict[int, Dict[str, TraceEvent]] = {}
+    for event in _events(run):
+        if event.kind == MIGRATION_PLANNED:
+            for batch in event.args.get("batches", ()):
+                flows.setdefault(int(batch), {})["planned"] = event
+        elif event.kind == MIGRATION_EXECUTED:
+            batch = event.args.get("batch")
+            if isinstance(batch, int):
+                flows.setdefault(batch, {})["executed"] = event
+        elif event.kind == MIGRATION_RETURNED:
+            batch = event.args.get("batch")
+            if isinstance(batch, int):
+                flows.setdefault(batch, {})["returned"] = event
+    return flows
 
 
 # -- gap distributions (Fig. 16 left panel) -----------------------------------

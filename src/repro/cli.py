@@ -23,12 +23,16 @@ times, cache counters, failures) for CI tracking.
 
 ``--trace PATH`` records every scheduler run's microsecond timeline
 (arrivals, per-core busy spans, migrations, idle gaps, deadline
-verdicts) and writes it on exit — by default as Chrome trace-event JSON
-loadable in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``,
-or as line-delimited JSON with ``--trace-format jsonl`` for programmatic
-analysis (see :mod:`repro.analysis.tracestats`).  Tracing forces the
-result cache off: a cache-served unit executes no scheduler and would
-leave holes in the timeline.
+verdicts) — by default as Chrome trace-event JSON loadable in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``, or as line-delimited
+JSON with ``--trace-format jsonl`` for programmatic analysis (see
+:mod:`repro.analysis.tracestats`).  The file is *streamed*: events are
+appended as the schedulers emit them, so trace memory stays O(1) in the
+event count and a killed run leaves a loadable prefix behind (JSONL).
+``--trace-kinds deadline,migration,gap`` filters at emit time to the
+named kinds.  Tracing forces the result cache off (with a warning): a
+cache-served unit executes no scheduler and would leave holes in the
+timeline.
 """
 
 from __future__ import annotations
@@ -97,6 +101,16 @@ def build_parser() -> argparse.ArgumentParser:
         default="chrome",
         help="trace file format: Chrome/Perfetto JSON or line-delimited JSON (default chrome)",
     )
+    parser.add_argument(
+        "--trace-kinds",
+        default=None,
+        metavar="KINDS",
+        help=(
+            "comma-separated event kinds to record (e.g. "
+            "'deadline,migration,gap'); 'migration' expands to the "
+            "planned/executed/returned triple; default: everything"
+        ),
+    )
     return parser
 
 
@@ -144,29 +158,50 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("error: --scale must be positive", file=sys.stderr)
         return 2
 
+    trace_kinds = None
+    if args.trace_kinds is not None:
+        if not args.trace_path:
+            print("error: --trace-kinds requires --trace PATH", file=sys.stderr)
+            return 2
+        from repro.obs import resolve_kinds
+
+        try:
+            trace_kinds = resolve_kinds(args.trace_kinds)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
     cache = None
+    cache_disabled_reason = None
+    if args.trace_path and not args.no_cache:
+        cache_disabled_reason = (
+            "--trace disables the result cache: a cache-served unit "
+            "executes no scheduler and would leave holes in the timeline"
+        )
+        print(f"warning: {cache_disabled_reason}", file=sys.stderr)
     if not args.no_cache and not args.trace_path:
         cache_dir = args.cache_dir if args.cache_dir else default_cache_dir()
         cache = ResultCache(cache_dir)
 
     runner = ExperimentRunner(jobs=args.jobs, cache=cache)
     if args.trace_path:
-        from repro.obs import Tracer, tracing, write_chrome_trace, write_jsonl_trace
+        from repro.obs import Tracer, open_sink, tracing
 
-        tracer = Tracer()
-        with tracing(tracer):
-            results, report = runner.run(
-                ids, scale=args.scale, seed=args.seed, on_result=_print_result
-            )
-        if args.trace_format == "jsonl":
-            write_jsonl_trace(args.trace_path, tracer)
-        else:
-            write_chrome_trace(args.trace_path, tracer)
+        sink = open_sink(args.trace_path, args.trace_format)
+        tracer = Tracer(kinds=trace_kinds, sink=sink)
+        try:
+            with tracing(tracer):
+                results, report = runner.run(
+                    ids, scale=args.scale, seed=args.seed, on_result=_print_result
+                )
+        finally:
+            sink.close()
         report.trace_summary = {
             **tracer.summary(),
             "path": args.trace_path,
             "format": args.trace_format,
         }
+        report.cache_disabled_reason = cache_disabled_reason
     else:
         results, report = runner.run(
             ids, scale=args.scale, seed=args.seed, on_result=_print_result

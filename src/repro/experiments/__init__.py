@@ -6,7 +6,12 @@ containing the regenerated rows/series as text plus the raw data.  Run
 them via ``python -m repro <id>`` or through the benchmark suite.
 """
 
-from repro.experiments.base import ExperimentOutput, get_experiment, list_experiments, run_experiment
+from repro.experiments.base import (
+    ExperimentOutput,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
 
 # Import for registration side effects.
 from repro.experiments import (  # noqa: F401  (registration imports)

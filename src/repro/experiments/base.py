@@ -133,7 +133,9 @@ def get_experiment(experiment_id: str) -> Experiment:
     return _REGISTRY[experiment_id]
 
 
-def run_experiment(experiment_id: str, scale: float = 1.0, seed: int = DEFAULT_SEED) -> ExperimentOutput:
+def run_experiment(
+    experiment_id: str, scale: float = 1.0, seed: int = DEFAULT_SEED
+) -> ExperimentOutput:
     """Run one registered experiment.
 
     ``scale`` shrinks the sample sizes proportionally (CI/benchmarks use

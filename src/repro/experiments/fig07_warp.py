@@ -47,5 +47,8 @@ def run(scale: float, seed: int) -> ExperimentOutput:
         experiment_id="fig7",
         title="WARP transport latency",
         text=table.render() + "\n" + note,
-        data={"series": {str(k): v for k, v in series.items()}, "limits": {str(k): v for k, v in limits.items()}},
+        data={
+            "series": {str(k): v for k, v in series.items()},
+            "limits": {str(k): v for k, v in limits.items()},
+        },
     )

@@ -38,5 +38,9 @@ def run(scale: float, seed: int) -> ExperimentOutput:
         experiment_id="fig14",
         title="Load CDFs",
         text=table.render() + "\n" + note,
-        data={"points": points.tolist(), "cdfs": [c.tolist() for c in cdfs], "means": means.tolist()},
+        data={
+            "points": points.tolist(),
+            "cdfs": [c.tolist() for c in cdfs],
+            "means": means.tolist(),
+        },
     )

@@ -6,6 +6,11 @@ subframes).  Right panel: the fraction of subframes for which RT-OPEX
 migrates FFT and decode subtasks as RTT/2 grows — decode migrations
 (large subtasks, clipped by the shrinking deadline) fall away while the
 small FFT subtasks keep migrating.
+
+The gap distribution is computed from the *trace*, not the records: the
+partitioned run is captured with ``capture_trace=("gap",)`` and the CDF
+comes from :func:`repro.analysis.tracestats.gap_cdf` — the figure and
+the observability pipeline can no longer drift apart.
 """
 
 from __future__ import annotations
@@ -13,11 +18,24 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.report import Table
-from repro.analysis.stats import tail_fraction
+from repro.analysis.tracestats import gap_cdf
 from repro.experiments.base import ExperimentOutput, register, scaled_subframes
 from repro.sched import CRanConfig, build_workload, run_scheduler
 
 RTTS = (400.0, 500.0, 600.0, 700.0)
+
+
+def _cdf_tail_fraction(xs: np.ndarray, ps: np.ndarray, threshold_us: float) -> float:
+    """``P(gap > threshold)`` read off an empirical CDF, exactly.
+
+    ``ps[i]`` is the fraction of samples ``<= xs[i]``, so the tail is
+    one minus the CDF at the last sample not exceeding the threshold —
+    count-based, hence bit-identical to ``np.mean(samples > t)``.
+    """
+    if xs.size == 0:
+        return 0.0
+    idx = int(np.searchsorted(xs, threshold_us, side="right"))
+    return 1.0 - (float(ps[idx - 1]) if idx > 0 else 0.0)
 
 
 @register("fig16", "Partitioned gaps and RT-OPEX migrations vs RTT/2")
@@ -32,9 +50,11 @@ def run(scale: float, seed: int) -> ExperimentOutput:
     for rtt in RTTS:
         cfg = CRanConfig(transport_latency_us=rtt)
         jobs = build_workload(cfg, num_subframes, seed=seed)
-        part = run_scheduler("partitioned", cfg, jobs)
-        gaps = part.gaps()
-        gap_tail.append(tail_fraction(gaps, 500.0))
+        part = run_scheduler("partitioned", cfg, jobs, capture_trace=("gap",))
+        gap_xs, gap_ps = gap_cdf(part.trace_run)
+        tail = _cdf_tail_fraction(gap_xs, gap_ps, 500.0)
+        median_gap = float(np.median(gap_xs)) if gap_xs.size else float("nan")
+        gap_tail.append(tail)
         # The window a *donor* can actually use shrinks with RTT: its
         # own deadline clips the helpers' free time (sec. 4.3 "the gaps
         # get narrower").  Estimated per subframe as the budget left
@@ -45,9 +65,7 @@ def run(scale: float, seed: int) -> ExperimentOutput:
             for j in jobs
         ]
         donor_windows.append(float(np.median(windows)))
-        gap_rows.append(
-            [rtt, float(np.median(gaps)), tail_fraction(gaps, 500.0), donor_windows[-1]]
-        )
+        gap_rows.append([rtt, median_gap, tail, donor_windows[-1]])
 
         opex = run_scheduler("rt-opex", cfg, jobs)
         fft_frac.append(opex.migration_fraction("fft"))

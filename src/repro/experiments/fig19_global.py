@@ -67,7 +67,11 @@ def _render(
         experiment_id="fig19",
         title="Global scheduler scaling",
         text=table_l.render() + "\n\n" + table_r.render(),
-        data={"cores": list(CORE_SWEEP), "miss_rates": miss_rates, "high_mcs": {str(k): v for k, v in dist.items()}},
+        data={
+            "cores": list(CORE_SWEEP),
+            "miss_rates": miss_rates,
+            "high_mcs": {str(k): v for k, v in dist.items()},
+        },
     )
 
 

@@ -6,6 +6,10 @@ CloudIQ-like baselines implemented (see ``repro.sched.pran`` /
 ``repro.sched.cloudiq``), this reproduction can also compare them
 *quantitatively* on the paper's own workload: deadline-miss rate, ACK
 rate, and mean processing time at RTT/2 = 500 us.
+
+All five baselines are instrumented, so ``--trace`` on this experiment
+yields one timeline per scheduler — the side-by-side view of how each
+policy occupies the same core budget.
 """
 
 from __future__ import annotations

@@ -27,45 +27,76 @@ from repro.obs.events import (
     DEADLINE,
     EVENT_KINDS,
     GAP,
+    KIND_GROUPS,
     MIGRATION_EXECUTED,
     MIGRATION_PLANNED,
     MIGRATION_RETURNED,
     SUBTASK,
     TASK,
     TraceEvent,
+    resolve_kinds,
 )
 from repro.obs.export import (
+    ChromeTraceSink,
+    JsonlTraceSink,
     chrome_trace_dict,
     chrome_trace_json,
+    iter_jsonl_lines,
+    open_sink,
     read_jsonl_trace,
+    replay_to_sink,
     write_chrome_trace,
     write_jsonl_trace,
 )
-from repro.obs.schema import assert_valid_chrome_trace, validate_chrome_trace
-from repro.obs.trace import RunTrace, Tracer, get_tracer, set_tracer, tracing
+from repro.obs.schema import (
+    assert_valid_chrome_trace,
+    validate_chrome_trace,
+    validate_jsonl_line,
+    validate_jsonl_trace,
+)
+from repro.obs.trace import (
+    RunTrace,
+    TeeRunTrace,
+    Tracer,
+    TraceStats,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
 
 __all__ = [
     "ARRIVAL",
     "BUSY_KINDS",
+    "ChromeTraceSink",
     "DEADLINE",
     "EVENT_KINDS",
     "GAP",
+    "JsonlTraceSink",
+    "KIND_GROUPS",
     "MIGRATION_EXECUTED",
     "MIGRATION_PLANNED",
     "MIGRATION_RETURNED",
     "RunTrace",
     "SUBTASK",
     "TASK",
+    "TeeRunTrace",
     "TraceEvent",
+    "TraceStats",
     "Tracer",
     "assert_valid_chrome_trace",
     "chrome_trace_dict",
     "chrome_trace_json",
     "get_tracer",
+    "iter_jsonl_lines",
+    "open_sink",
     "read_jsonl_trace",
+    "replay_to_sink",
+    "resolve_kinds",
     "set_tracer",
     "tracing",
     "validate_chrome_trace",
+    "validate_jsonl_line",
+    "validate_jsonl_trace",
     "write_chrome_trace",
     "write_jsonl_trace",
 ]

@@ -70,6 +70,39 @@ BUSY_KINDS = (TASK, MIGRATION_EXECUTED)
 #: Kinds rendered as duration ("X") events in the Chrome export.
 SPAN_KINDS = (TASK, SUBTASK, MIGRATION_EXECUTED, GAP)
 
+#: ``--trace-kinds`` vocabulary: every concrete kind selects itself, and
+#: the ``migration`` alias selects the whole planned/executed/returned
+#: family so a filter spec does not need to spell out all three.
+KIND_GROUPS: Dict[str, tuple] = {
+    **{kind: (kind,) for kind in EVENT_KINDS},
+    "migration": (MIGRATION_PLANNED, MIGRATION_EXECUTED, MIGRATION_RETURNED),
+}
+
+
+def resolve_kinds(spec) -> "frozenset[str]":
+    """Expand a kind-filter spec into a concrete kind set.
+
+    ``spec`` is a comma-separated string (``"deadline,migration,gap"``)
+    or an iterable of names; each name must be a concrete kind or a
+    :data:`KIND_GROUPS` alias.  Raises ``ValueError`` on unknown names.
+    """
+    if isinstance(spec, str):
+        names = [name.strip() for name in spec.split(",") if name.strip()]
+    else:
+        names = [str(name) for name in spec]
+    if not names:
+        raise ValueError("empty trace-kind filter")
+    kinds = set()
+    for name in names:
+        try:
+            kinds.update(KIND_GROUPS[name])
+        except KeyError:
+            known = ", ".join(sorted(KIND_GROUPS))
+            raise ValueError(
+                f"unknown trace kind {name!r} (known: {known})"
+            ) from None
+    return frozenset(kinds)
+
 
 @dataclass(frozen=True)
 class TraceEvent:

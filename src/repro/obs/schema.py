@@ -1,16 +1,24 @@
-"""Minimal JSON schema for the Chrome trace export, plus a validator.
+"""Minimal JSON schemas for both trace exports, plus validators.
 
-The schema pins exactly what Perfetto's legacy-JSON importer needs from
-our files — the shape the CI smoke test freezes so format drift fails
-fast.  It is expressed as a (subset of) JSON Schema for documentation
-and hand-validated so the check runs without any third-party dependency.
+The Chrome schema pins exactly what Perfetto's legacy-JSON importer
+needs from our files — the shape the CI smoke test freezes so format
+drift fails fast.  The JSONL schema pins the line-delimited format the
+streaming sink appends during a run, which is what the kill-mid-run
+test checks line by line.  Both are expressed as (subsets of) JSON
+Schema for documentation and hand-validated so the checks run without
+any third-party dependency.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, Iterable, List
 
 from repro.obs.events import EVENT_KINDS
+
+#: Phases the Chrome export emits: metadata, complete spans, instants,
+#: and the flow start/step/end triplet linking migration events.
+CHROME_PHASES = ("M", "X", "i", "s", "t", "f")
+FLOW_PHASES = ("s", "t", "f")
 
 #: JSON-Schema-style description of the emitted Chrome trace document.
 CHROME_TRACE_SCHEMA: Dict[str, object] = {
@@ -24,13 +32,15 @@ CHROME_TRACE_SCHEMA: Dict[str, object] = {
                 "required": ["name", "ph", "pid", "tid"],
                 "properties": {
                     "name": {"type": "string"},
-                    "ph": {"enum": ["M", "X", "i"]},
-                    "cat": {"enum": list(EVENT_KINDS)},
+                    "ph": {"enum": list(CHROME_PHASES)},
+                    "cat": {"enum": list(EVENT_KINDS) + ["migration"]},
                     "ts": {"type": "number", "minimum": 0},
                     "dur": {"type": "number", "minimum": 0},
                     "pid": {"type": "integer", "minimum": 0},
                     "tid": {"type": "integer", "minimum": 0},
                     "s": {"enum": ["t", "p", "g"]},
+                    "id": {"type": "integer", "minimum": 0},
+                    "bp": {"enum": ["e"]},
                     "args": {"type": "object"},
                 },
             },
@@ -39,6 +49,47 @@ CHROME_TRACE_SCHEMA: Dict[str, object] = {
         "otherData": {"type": "object"},
     },
 }
+
+#: JSON-Schema-style description of one JSONL trace line.
+JSONL_LINE_SCHEMA: Dict[str, object] = {
+    "oneOf": [
+        {
+            "type": "object",
+            "required": ["type", "index", "label"],
+            "properties": {
+                "type": {"const": "run"},
+                "index": {"type": "integer", "minimum": 0},
+                "label": {"type": "string"},
+                "scheduler": {"type": "string"},
+                "meta": {"type": "object"},
+            },
+        },
+        {
+            "type": "object",
+            "required": ["type", "run", "kind", "ts_us", "core"],
+            "properties": {
+                "type": {"const": "event"},
+                "run": {"type": "integer", "minimum": 0},
+                "kind": {"enum": list(EVENT_KINDS)},
+                "ts_us": {"type": "number", "minimum": 0},
+                "core": {"type": "integer"},
+                "name": {"type": "string"},
+                "dur_us": {"type": "number", "minimum": 0},
+                "bs_id": {"type": "integer", "minimum": 0},
+                "sf_index": {"type": "integer", "minimum": 0},
+                "args": {"type": "object"},
+            },
+        },
+    ],
+}
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _is_int(value: object) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
 
 
 def validate_chrome_trace(document: object) -> List[str]:
@@ -67,25 +118,32 @@ def validate_chrome_trace(document: object) -> List[str]:
         if not isinstance(event.get("name", ""), str):
             errors.append(f"{where}: name is not a string")
         ph = event.get("ph")
-        if ph not in ("M", "X", "i"):
+        if ph not in CHROME_PHASES:
             errors.append(f"{where}: unexpected phase {ph!r}")
         for key in ("pid", "tid"):
             value = event.get(key, 0)
-            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            if not _is_int(value) or value < 0:
                 errors.append(f"{where}: {key} must be a non-negative integer")
-        if ph in ("X", "i"):
+        if ph in ("X", "i", "s", "t", "f"):
             ts = event.get("ts")
-            if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            if not _is_number(ts) or ts < 0:
                 errors.append(f"{where}: ts must be a non-negative number")
+        if ph in ("X", "i"):
             cat = event.get("cat")
             if cat not in EVENT_KINDS:
                 errors.append(f"{where}: unknown category {cat!r}")
         if ph == "X":
             dur = event.get("dur")
-            if not isinstance(dur, (int, float)) or isinstance(dur, bool) or dur < 0:
+            if not _is_number(dur) or dur < 0:
                 errors.append(f"{where}: duration event needs dur >= 0")
         if ph == "i" and event.get("s") not in ("t", "p", "g"):
             errors.append(f"{where}: instant event needs scope s in t/p/g")
+        if ph in FLOW_PHASES:
+            flow_id = event.get("id")
+            if not _is_int(flow_id) or flow_id < 0:
+                errors.append(f"{where}: flow event needs a non-negative integer id")
+            if ph == "f" and event.get("bp") not in (None, "e"):
+                errors.append(f"{where}: flow end bp must be 'e' when present")
         if "args" in event and not isinstance(event["args"], dict):
             errors.append(f"{where}: args is not an object")
     return errors
@@ -98,3 +156,67 @@ def assert_valid_chrome_trace(document: object) -> None:
         preview = "; ".join(errors[:10])
         more = f" (+{len(errors) - 10} more)" if len(errors) > 10 else ""
         raise ValueError(f"invalid Chrome trace: {preview}{more}")
+
+
+def validate_jsonl_line(payload: object) -> List[str]:
+    """Check one parsed JSONL trace line against :data:`JSONL_LINE_SCHEMA`."""
+    if not isinstance(payload, dict):
+        return ["line is not a JSON object"]
+    kind = payload.get("type")
+    if kind == "run":
+        errors = []
+        if not _is_int(payload.get("index")) or payload.get("index", -1) < 0:
+            errors.append("run header needs a non-negative integer index")
+        if not isinstance(payload.get("label"), str):
+            errors.append("run header needs a string label")
+        if "meta" in payload and not isinstance(payload["meta"], dict):
+            errors.append("run meta is not an object")
+        return errors
+    if kind == "event":
+        errors = []
+        if not _is_int(payload.get("run")) or payload.get("run", -1) < 0:
+            errors.append("event needs a non-negative integer run index")
+        if payload.get("kind") not in EVENT_KINDS:
+            errors.append(f"unknown event kind {payload.get('kind')!r}")
+        if not _is_number(payload.get("ts_us")) or payload.get("ts_us", -1) < 0:
+            errors.append("event needs ts_us >= 0")
+        if not _is_int(payload.get("core")):
+            errors.append("event needs an integer core")
+        if "dur_us" in payload and (
+            not _is_number(payload["dur_us"]) or payload["dur_us"] < 0
+        ):
+            errors.append("dur_us must be a non-negative number")
+        if "args" in payload and not isinstance(payload["args"], dict):
+            errors.append("args is not an object")
+        return errors
+    return [f"unknown line type {kind!r}"]
+
+
+def validate_jsonl_trace(lines: Iterable[object]) -> List[str]:
+    """Validate a sequence of parsed JSONL lines (order-aware).
+
+    Checks every line against the line schema and that event lines only
+    reference run headers already seen — the property that makes any
+    prefix of a streamed file independently loadable.
+    """
+    errors: List[str] = []
+    runs_seen = -1
+    for i, payload in enumerate(lines):
+        for error in validate_jsonl_line(payload):
+            errors.append(f"line {i + 1}: {error}")
+        if isinstance(payload, dict):
+            if payload.get("type") == "run":
+                index = payload.get("index")
+                if _is_int(index):
+                    if index != runs_seen + 1:
+                        errors.append(
+                            f"line {i + 1}: run index {index} out of order"
+                        )
+                    runs_seen = max(runs_seen, index)
+            elif payload.get("type") == "event":
+                run = payload.get("run")
+                if _is_int(run) and run > runs_seen:
+                    errors.append(
+                        f"line {i + 1}: event references unseen run {run}"
+                    )
+    return errors

@@ -1,11 +1,25 @@
-"""Trace collection: per-run event buffers and the process-wide tracer.
+"""Trace collection: per-run event buffers, streaming, and the tracer.
 
 A :class:`RunTrace` is one scheduler invocation's timeline — typed emit
-helpers append :class:`~repro.obs.events.TraceEvent` objects to a flat
-list.  A :class:`Tracer` owns the run list for a whole CLI/runner
-invocation and round-trips through a JSON-native payload so forked
-worker processes can ship their runs back to the parent (see
-:meth:`Tracer.drain_payload` / :meth:`Tracer.ingest_payload`).
+helpers build :class:`~repro.obs.events.TraceEvent` objects and funnel
+them through :meth:`RunTrace.emit`, where the per-kind filter and the
+streaming sink are applied.  Two collection modes:
+
+* **buffered** (the default): events append to ``run.events``, the mode
+  the in-memory aggregators (:mod:`repro.analysis.tracestats`) and the
+  cross-process payloads use;
+* **streaming**: with a sink attached (see :mod:`repro.obs.export`)
+  every event is written to disk at emit time and *nothing* is
+  buffered — exporter memory stays O(1) in the event count, which is
+  what makes paper-scale ``all --scale 1.0`` runs traceable.
+
+A :class:`Tracer` owns the run list for a whole CLI/runner invocation
+and round-trips through a JSON-native payload so forked worker
+processes can ship their runs back to the parent (see
+:meth:`Tracer.drain_payload` / :meth:`Tracer.ingest_payload`).  Workers
+always buffer (the parent owns the file handle); the parent re-emits
+ingested payloads through the same filter/sink path, so a parallel run
+streams exactly the bytes a serial run would.
 
 The ambient-tracer context (:func:`set_tracer` / :func:`get_tracer` /
 :func:`tracing`) is how tracing reaches the schedulers without touching
@@ -33,39 +47,87 @@ from repro.obs.events import (
 )
 
 
-class RunTrace:
-    """Event buffer for one scheduler run, with typed emit helpers.
+class TraceStats:
+    """Per-kind counters maintained at emit time.
 
-    The helpers mirror the event vocabulary one-to-one; schedulers call
-    them only behind an ``is not None`` guard, so a disabled trace costs
-    one pointer comparison per site.
+    Streaming mode buffers nothing, so the end-of-run summary
+    (``--json`` telemetry) cannot be recomputed from ``run.events``;
+    these counters are updated on every accepted emission instead and
+    are exact in both modes.
     """
 
-    __slots__ = ("label", "scheduler", "meta", "events")
+    __slots__ = ("kinds", "deadline_misses")
+
+    def __init__(self) -> None:
+        self.kinds: Dict[str, int] = {}
+        self.deadline_misses = 0
+
+    def record(self, event: TraceEvent) -> None:
+        self.kinds[event.kind] = self.kinds.get(event.kind, 0) + 1
+        if event.kind == DEADLINE and event.args.get("missed"):
+            self.deadline_misses += 1
+
+    def total(self) -> int:
+        return sum(self.kinds.values())
+
+
+class RunTrace:
+    """Event buffer (or stream head) for one scheduler run.
+
+    The typed helpers mirror the event vocabulary one-to-one;
+    schedulers call them only behind an ``is not None`` guard, so a
+    disabled trace costs one pointer comparison per site.  Every helper
+    funnels through :meth:`emit`, the single point where the kind
+    filter, the stats counters, and the streaming sink apply.
+    """
+
+    __slots__ = (
+        "label", "scheduler", "meta", "begin_meta", "events", "kinds", "sink",
+        "stats",
+    )
 
     def __init__(
         self,
         label: str,
         scheduler: str = "",
         meta: Optional[Mapping[str, object]] = None,
+        kinds: Optional[frozenset] = None,
+        sink=None,
+        stats: Optional[TraceStats] = None,
     ):
         self.label = label
         self.scheduler = scheduler or label
         self.meta: Dict[str, object] = dict(meta or {})
+        # Snapshot of the metadata known when the run began.  Streaming
+        # sinks write their run header immediately, before the scheduler
+        # has a chance to add end-of-run metadata (e.g. the simulator
+        # stats), so serialized headers always carry this snapshot — the
+        # only way a live stream and a buffered replay can agree
+        # byte-for-byte.
+        self.begin_meta: Dict[str, object] = dict(self.meta)
         self.events: List[TraceEvent] = []
+        self.kinds = kinds
+        self.sink = sink
+        self.stats = stats
 
     def __len__(self) -> int:
         return len(self.events)
 
     def emit(self, event: TraceEvent) -> None:
-        self.events.append(event)
+        """Accept one event: filter, count, then stream or buffer it."""
+        if self.kinds is not None and event.kind not in self.kinds:
+            return
+        if self.stats is not None:
+            self.stats.record(event)
+        if self.sink is not None:
+            self.sink.event(self, event)
+        else:
+            self.events.append(event)
 
     # -- typed emitters ------------------------------------------------------
 
     def arrival(self, ts_us: float, core: int, bs_id: int, sf_index: int) -> None:
-        self.events.append(
-            TraceEvent(ARRIVAL, ts_us, core, bs_id=bs_id, sf_index=sf_index)
-        )
+        self.emit(TraceEvent(ARRIVAL, ts_us, core, bs_id=bs_id, sf_index=sf_index))
 
     def task(
         self,
@@ -80,7 +142,7 @@ class RunTrace:
         """One pipeline-stage span; silently skipped when empty."""
         if end_us <= start_us:
             return
-        self.events.append(
+        self.emit(
             TraceEvent(
                 TASK, start_us, core, name=name, dur_us=end_us - start_us,
                 bs_id=bs_id, sf_index=sf_index, args=args,
@@ -99,7 +161,7 @@ class RunTrace:
     ) -> None:
         if end_us <= start_us:
             return
-        self.events.append(
+        self.emit(
             TraceEvent(
                 SUBTASK, start_us, core, name=name, dur_us=end_us - start_us,
                 bs_id=bs_id, sf_index=sf_index, args=args,
@@ -115,12 +177,15 @@ class RunTrace:
         targets: Sequence[int],
         bs_id: int = -1,
         sf_index: int = -1,
+        batches: Optional[Sequence[int]] = None,
     ) -> None:
-        self.events.append(
+        args: Dict[str, object] = {"shipped": shipped, "targets": list(targets)}
+        if batches is not None:
+            args["batches"] = list(batches)
+        self.emit(
             TraceEvent(
                 MIGRATION_PLANNED, ts_us, core, name=task,
-                bs_id=bs_id, sf_index=sf_index,
-                args={"shipped": shipped, "targets": list(targets)},
+                bs_id=bs_id, sf_index=sf_index, args=args,
             )
         )
 
@@ -135,14 +200,20 @@ class RunTrace:
         completed: int,
         bs_id: int = -1,
         sf_index: int = -1,
+        batch: int = -1,
     ) -> None:
         if end_us <= start_us:
             return
-        self.events.append(
+        args: Dict[str, object] = {
+            "owner": owner_core, "shipped": shipped, "completed": completed,
+        }
+        if batch >= 0:
+            args["batch"] = batch
+        self.emit(
             TraceEvent(
                 MIGRATION_EXECUTED, start_us, core, name=task,
                 dur_us=end_us - start_us, bs_id=bs_id, sf_index=sf_index,
-                args={"owner": owner_core, "shipped": shipped, "completed": completed},
+                args=args,
             )
         )
 
@@ -155,12 +226,15 @@ class RunTrace:
         recovered: int,
         bs_id: int = -1,
         sf_index: int = -1,
+        batch: int = -1,
     ) -> None:
-        self.events.append(
+        args: Dict[str, object] = {"completed": completed, "recovered": recovered}
+        if batch >= 0:
+            args["batch"] = batch
+        self.emit(
             TraceEvent(
                 MIGRATION_RETURNED, ts_us, core, name=task,
-                bs_id=bs_id, sf_index=sf_index,
-                args={"completed": completed, "recovered": recovered},
+                bs_id=bs_id, sf_index=sf_index, args=args,
             )
         )
 
@@ -177,7 +251,7 @@ class RunTrace:
         drops whose gap the framework keeps out of the helper pool."""
         if dur_us <= 0:
             return
-        self.events.append(
+        self.emit(
             TraceEvent(
                 GAP, start_us, core, dur_us=dur_us,
                 bs_id=bs_id, sf_index=sf_index, args={"usable": usable},
@@ -196,7 +270,7 @@ class RunTrace:
         args: Dict[str, object] = {"missed": missed}
         if drop_stage:
             args["drop_stage"] = drop_stage
-        self.events.append(
+        self.emit(
             TraceEvent(
                 DEADLINE, ts_us, core,
                 name="miss" if missed else "hit",
@@ -211,25 +285,61 @@ class RunTrace:
             "label": self.label,
             "scheduler": self.scheduler,
             "meta": dict(self.meta),
+            "begin_meta": dict(self.begin_meta),
             "events": [e.to_dict() for e in self.events],
         }
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, object]) -> "RunTrace":
+        meta = dict(payload.get("meta", {}))
         run = cls(
             label=str(payload["label"]),
             scheduler=str(payload.get("scheduler", "")),
-            meta=dict(payload.get("meta", {})),
+            meta=dict(payload.get("begin_meta", meta)),
         )
+        run.meta.update(meta)
         run.events = [TraceEvent.from_dict(e) for e in payload.get("events", [])]
         return run
 
 
-class Tracer:
-    """All trace runs of one runner/CLI invocation, in emission order."""
+class TeeRunTrace(RunTrace):
+    """Forward every emission to several :class:`RunTrace` targets.
 
-    def __init__(self) -> None:
+    ``run_scheduler`` uses this when a caller asks for a private
+    capture trace *and* an ambient tracer is installed: the scheduler
+    sees one trace object, the ambient run streams/buffers as
+    configured, and the capture run keeps its own (possibly filtered)
+    buffer.  ``meta`` is shared with the primary target so scheduler
+    metadata (e.g. the simulator stats) lands on the real run.
+    """
+
+    __slots__ = ("targets",)
+
+    def __init__(self, primary: RunTrace, *others: RunTrace):
+        super().__init__(primary.label, scheduler=primary.scheduler)
+        self.meta = primary.meta
+        self.targets = (primary,) + others
+
+    def emit(self, event: TraceEvent) -> None:
+        for target in self.targets:
+            target.emit(event)
+
+
+class Tracer:
+    """All trace runs of one runner/CLI invocation, in emission order.
+
+    ``kinds`` (optional) filters every run's emissions at emit time;
+    ``sink`` (optional) streams accepted events to disk instead of
+    buffering them.  Both propagate to runs created by
+    :meth:`begin_run` and to payloads re-emitted by
+    :meth:`ingest_payload`.
+    """
+
+    def __init__(self, kinds: Optional[frozenset] = None, sink=None) -> None:
         self.runs: List[RunTrace] = []
+        self.kinds = kinds
+        self.sink = sink
+        self.stats = TraceStats()
 
     def __len__(self) -> int:
         return len(self.runs)
@@ -240,30 +350,31 @@ class Tracer:
         scheduler: str = "",
         meta: Optional[Mapping[str, object]] = None,
     ) -> RunTrace:
-        run = RunTrace(label, scheduler=scheduler, meta=meta)
+        run = RunTrace(
+            label, scheduler=scheduler, meta=meta,
+            kinds=self.kinds, sink=self.sink, stats=self.stats,
+        )
         self.runs.append(run)
+        if self.sink is not None:
+            self.sink.begin_run(run)
         return run
 
     def num_events(self) -> int:
-        return sum(len(run) for run in self.runs)
+        """Accepted events so far (exact in both buffered and streaming
+        modes — counted at emit time, not from the buffers)."""
+        return self.stats.total()
 
     def clear(self) -> None:
         self.runs = []
+        self.stats = TraceStats()
 
     def summary(self) -> Dict[str, object]:
         """JSON-native roll-up for telemetry reports."""
-        kinds: Dict[str, int] = {}
-        misses = 0
-        for run in self.runs:
-            for event in run.events:
-                kinds[event.kind] = kinds.get(event.kind, 0) + 1
-                if event.kind == DEADLINE and event.args.get("missed"):
-                    misses += 1
         return {
             "runs": len(self.runs),
-            "events": self.num_events(),
-            "deadline_misses": misses,
-            "kinds": dict(sorted(kinds.items())),
+            "events": self.stats.total(),
+            "deadline_misses": self.stats.deadline_misses,
+            "kinds": dict(sorted(self.stats.kinds.items())),
         }
 
     # -- cross-process transport ---------------------------------------------
@@ -282,9 +393,25 @@ class Tracer:
         return payload
 
     def ingest_payload(self, payload: Mapping[str, object]) -> None:
-        """Append runs shipped back from a worker process."""
+        """Re-emit runs shipped back from a worker process.
+
+        Events pass through :meth:`RunTrace.emit`, so the parent's
+        filter, counters, and streaming sink apply exactly as they
+        would have for a serial in-process run.
+        """
         for run_payload in payload.get("runs", []):
-            self.runs.append(RunTrace.from_payload(run_payload))
+            meta = dict(run_payload.get("meta", {}))
+            # begin_run writes the streamed header, so it must see the
+            # worker's begin-time meta snapshot (what a serial run's
+            # header carried); end-of-run metadata is restored after.
+            run = self.begin_run(
+                str(run_payload["label"]),
+                scheduler=str(run_payload.get("scheduler", "")),
+                meta=dict(run_payload.get("begin_meta", meta)),
+            )
+            run.meta.update(meta)
+            for event_payload in run_payload.get("events", []):
+                run.emit(TraceEvent.from_dict(event_payload))
 
 
 # -- ambient tracer context ---------------------------------------------------

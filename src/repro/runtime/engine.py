@@ -78,10 +78,12 @@ def _output_from_payload(experiment_id: str, payload: Dict[str, object]) -> Expe
 #
 # Workers are forked, so they inherit the parent's ambient tracer (see
 # repro.obs).  Each worker function clears it before running (fork may
-# have copied runs the parent already collected) and drains the runs it
-# produced into a picklable payload returned alongside the result; the
-# parent re-ingests payloads in deterministic experiment x unit order so
-# the assembled tracer is byte-identical to a serial run's.
+# have copied runs the parent already collected), detaches any streaming
+# sink (the parent owns the file handle; workers must buffer), and
+# drains the runs it produced into a picklable payload returned
+# alongside the result; the parent re-emits payloads through its own
+# filter/sink in deterministic experiment x unit order so the streamed
+# trace is byte-identical to a serial run's.
 
 def _clear_ambient_trace() -> None:
     from repro.obs.trace import get_tracer
@@ -89,6 +91,7 @@ def _clear_ambient_trace() -> None:
     tracer = get_tracer()
     if tracer is not None:
         tracer.clear()
+        tracer.sink = None
 
 
 def _drain_ambient_trace() -> Optional[Dict[str, object]]:
@@ -124,6 +127,55 @@ def _worker_unit(
     start = perf_counter()
     result = exp.sweep.run_unit(unit)
     return result, perf_counter() - start, _drain_ambient_trace()
+
+
+class _TraceSpill:
+    """Stream worker trace payloads to the parent tracer, in order.
+
+    Slots are registered in serial-equivalent order (experiments x
+    units) at submission time; payloads complete in pool-completion
+    order.  A payload is ingested — and its memory released — as soon
+    as every slot before it has completed, so the parent holds at most
+    the out-of-order window instead of every payload until the end.
+    Ingestion re-emits through the parent tracer's own filter and
+    streaming sink, which is what keeps ``--jobs N`` trace files
+    byte-identical to serial ones.
+    """
+
+    def __init__(self) -> None:
+        self._payloads: List[Optional[Dict[str, object]]] = []
+        self._done: List[bool] = []
+        self._indices: Dict[Tuple[str, Optional[int]], int] = {}
+        self._next = 0
+
+    def register(self, experiment_id: str, index: Optional[int]) -> None:
+        """Claim the next serial-order slot for (experiment, unit)."""
+        self._indices[(experiment_id, index)] = len(self._payloads)
+        self._payloads.append(None)
+        self._done.append(False)
+
+    def complete(
+        self,
+        experiment_id: str,
+        index: Optional[int],
+        payload: Optional[Dict[str, object]],
+    ) -> None:
+        """Deliver a slot's payload (``None`` for cached/failed units)."""
+        slot = self._indices[(experiment_id, index)]
+        self._payloads[slot] = payload
+        self._done[slot] = True
+        self._drain()
+
+    def _drain(self) -> None:
+        from repro.obs.trace import get_tracer
+
+        tracer = get_tracer()
+        while self._next < len(self._payloads) and self._done[self._next]:
+            payload = self._payloads[self._next]
+            self._payloads[self._next] = None
+            self._next += 1
+            if payload is not None and tracer is not None:
+                tracer.ingest_payload(payload)
 
 
 class ExperimentRunner:
@@ -278,8 +330,9 @@ class ExperimentRunner:
         pending_units: Dict[str, int] = {}
         submitted_units: Dict[str, int] = {}
         exp_wall: Dict[str, float] = {}
-        # (experiment_id, unit index or None) -> worker trace payload.
-        trace_payloads: Dict[Tuple[str, Optional[int]], Dict[str, object]] = {}
+        # In-order streaming of worker trace payloads to the tracer;
+        # slots are registered at submission time (serial order).
+        spill = _TraceSpill()
 
         def finish(result: ExperimentResult) -> None:
             results[result.experiment_id] = result
@@ -351,6 +404,7 @@ class ExperimentRunner:
                             exp.experiment_id, unit.key, dict(unit.params), unit.seed,
                         )
                         future_meta[future] = (exp, i)
+                        spill.register(exp.experiment_id, i)
                     if pending_units[exp.experiment_id] == 0:
                         combine_ready(exp)
                 else:
@@ -358,6 +412,7 @@ class ExperimentRunner:
                         _worker_whole, exp.experiment_id, scale, seed
                     )
                     future_meta[future] = (exp, None)
+                    spill.register(exp.experiment_id, None)
 
             outstanding = set(future_meta)
             while outstanding:
@@ -369,6 +424,7 @@ class ExperimentRunner:
                         value, wall_s, trace_payload = future.result()
                     except Exception:
                         error = traceback.format_exc(limit=8)
+                        spill.complete(experiment_id, index, None)
                         unit_key = (
                             WHOLE_UNIT_KEY if index is None
                             else unit_lists[experiment_id][index].key
@@ -379,8 +435,7 @@ class ExperimentRunner:
                         if experiment_id not in results:
                             finish(ExperimentResult(experiment_id, error=error))
                         continue
-                    if trace_payload is not None:
-                        trace_payloads[(experiment_id, index)] = trace_payload
+                    spill.complete(experiment_id, index, trace_payload)
                     if index is None:
                         report.units.append(
                             UnitStat(experiment_id, WHOLE_UNIT_KEY, wall_s)
@@ -405,8 +460,6 @@ class ExperimentRunner:
                     if pending_units[experiment_id] == 0 and experiment_id not in results:
                         combine_ready(exp)
 
-        self._ingest_traces(experiments, unit_lists, trace_payloads)
-
         ordered = []
         for exp in experiments:
             result = results.get(exp.experiment_id)
@@ -416,39 +469,6 @@ class ExperimentRunner:
                 )
             ordered.append(result)
         return ordered
-
-    @staticmethod
-    def _ingest_traces(
-        experiments: Sequence[Experiment],
-        unit_lists: Dict[str, List[WorkUnit]],
-        trace_payloads: Dict[Tuple[str, Optional[int]], Dict[str, object]],
-    ) -> None:
-        """Merge worker trace payloads into the parent's ambient tracer.
-
-        Payloads arrive in pool-completion order; replaying them in
-        experiments x units order reconstructs exactly the run sequence
-        a serial execution would have produced, which is what makes
-        serial and parallel trace files byte-identical.
-        """
-        if not trace_payloads:
-            return
-        from repro.obs.trace import get_tracer
-
-        tracer = get_tracer()
-        if tracer is None:
-            return
-        for exp in experiments:
-            experiment_id = exp.experiment_id
-            units = unit_lists.get(experiment_id)
-            if units is None:
-                payload = trace_payloads.get((experiment_id, None))
-                if payload is not None:
-                    tracer.ingest_payload(payload)
-                continue
-            for i in range(len(units)):
-                payload = trace_payloads.get((experiment_id, i))
-                if payload is not None:
-                    tracer.ingest_payload(payload)
 
 
 def outputs_match(a: ExperimentOutput, b: ExperimentOutput) -> bool:

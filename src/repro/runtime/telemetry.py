@@ -35,6 +35,10 @@ class RunReport:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_enabled: bool = False
+    #: Why the cache is off when the user did not ask for that (e.g.
+    #: ``--trace`` forces it off); ``None`` when enabled or explicitly
+    #: disabled with ``--no-cache``.
+    cache_disabled_reason: Optional[str] = None
     units: List[UnitStat] = field(default_factory=list)
     #: experiment id -> error message, for drivers that raised.
     failures: Dict[str, str] = field(default_factory=dict)
@@ -100,6 +104,7 @@ class RunReport:
                 "enabled": self.cache_enabled,
                 "hits": self.cache_hits,
                 "misses": self.cache_misses,
+                "disabled_reason": self.cache_disabled_reason,
             },
             "units": [
                 {

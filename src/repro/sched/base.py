@@ -211,6 +211,9 @@ class SchedulerResult:
         self.config = config
         self.records: List[SubframeRecord] = list(records)
         self.core_busy_us: Dict[int, float] = dict(core_busy_us or {})
+        #: Buffered RunTrace set by ``run_scheduler(capture_trace=...)``;
+        #: ``None`` unless the caller asked for a private capture.
+        self.trace_run = None
 
     def __len__(self) -> int:
         return len(self.records)
@@ -287,7 +290,10 @@ class SchedulerResult:
         """Fraction of subframes that migrated at least one ``task`` subtask."""
         if not self.records:
             return 0.0
-        hits = sum(1 for r in self.records if any(m.task == task and m.num_subtasks > 0 for m in r.migrations))
+        hits = sum(
+            1 for r in self.records
+            if any(m.task == task and m.num_subtasks > 0 for m in r.migrations)
+        )
         return hits / len(self.records)
 
     def ack_rate(self) -> float:

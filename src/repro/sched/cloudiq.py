@@ -18,9 +18,16 @@ Fig. 15/17 penalize.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
-from repro.sched.base import CRanConfig, SchedulerResult, SubframeJob, SubframeRecord
+from repro.obs.trace import RunTrace
+from repro.sched.base import (
+    CRanConfig,
+    SchedulerResult,
+    SubframeJob,
+    SubframeRecord,
+    assigned_core_for,
+)
 from repro.sched.partitioned import PartitionedScheduler
 from repro.timing.model import LinearTimingModel
 
@@ -30,8 +37,13 @@ class CloudIqScheduler(PartitionedScheduler):
 
     name = "cloudiq"
 
-    def __init__(self, config: CRanConfig, timing_model: LinearTimingModel = None):
-        super().__init__(config)
+    def __init__(
+        self,
+        config: CRanConfig,
+        timing_model: LinearTimingModel = None,
+        trace: Optional[RunTrace] = None,
+    ):
+        super().__init__(config, trace=trace)
         self.timing_model = timing_model if timing_model is not None else LinearTimingModel()
 
     def run(self, jobs: Sequence[SubframeJob]) -> SchedulerResult:
@@ -52,6 +64,13 @@ class CloudIqScheduler(PartitionedScheduler):
         # admission test refused to decode them.
         for job in rejected:
             sf = job.subframe
+            if self.trace is not None:
+                core = assigned_core_for(job, self.config.cores_per_bs)
+                self.trace.arrival(job.arrival_us, core, sf.bs_id, sf.index)
+                self.trace.deadline(
+                    job.arrival_us, core, True, sf.bs_id, sf.index,
+                    drop_stage="admission",
+                )
             record = SubframeRecord(
                 bs_id=sf.bs_id,
                 index=sf.index,

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.trace import RunTrace
 from repro.sched.base import CRanConfig, SchedulerResult, SubframeJob, SubframeRecord
 from repro.timing.cache import MigrationCostModel
 from repro.timing.iterations import IterationModel
@@ -40,6 +41,8 @@ class _PlannedPiece:
     job_key: tuple
     planned_us: float
     actual_us: float
+    bs_id: int
+    sf_index: int
 
 
 class PranScheduler:
@@ -53,6 +56,7 @@ class PranScheduler:
         iteration_model: Optional[IterationModel] = None,
         dispatch_cost: Optional[MigrationCostModel] = None,
         rng: Optional[np.random.Generator] = None,
+        trace: Optional[RunTrace] = None,
     ):
         self.config = config
         self.iterations = iteration_model if iteration_model is not None else IterationModel(
@@ -60,12 +64,14 @@ class PranScheduler:
         )
         self.dispatch_cost = dispatch_cost if dispatch_cost is not None else MigrationCostModel()
         self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.trace = trace
 
     def run(self, jobs: Sequence[SubframeJob]) -> SchedulerResult:
         config = self.config
         num_cores = config.total_cores
         core_free = [0.0] * num_cores
         records: List[SubframeRecord] = []
+        busy: Dict[int, float] = {}
 
         # Group arrivals per subframe boundary (they share one plan).
         by_arrival: Dict[float, List[SubframeJob]] = {}
@@ -74,9 +80,9 @@ class PranScheduler:
 
         for arrival in sorted(by_arrival):
             batch = sorted(by_arrival[arrival], key=lambda j: j.subframe.bs_id)
-            self._plan_and_execute(arrival, batch, core_free, records)
+            self._plan_and_execute(arrival, batch, core_free, records, busy)
 
-        return SchedulerResult(self.name, config, records)
+        return SchedulerResult(self.name, config, records, core_busy_us=busy)
 
     # ------------------------------------------------------------------
 
@@ -97,8 +103,10 @@ class PranScheduler:
         batch: Sequence[SubframeJob],
         core_free: List[float],
         records: List[SubframeRecord],
+        busy: Dict[int, float],
     ) -> None:
         num_cores = len(core_free)
+        trace = self.trace
 
         # --- planning pass (only grant-derived information) -----------
         # Home core per subframe: the least-loaded cores at the boundary.
@@ -110,14 +118,23 @@ class PranScheduler:
         planned_avail = list(core_free)
         serial_done: Dict[tuple, float] = {}
         for job in batch:
-            core = home[job.subframe.key()]
+            sf = job.subframe
+            core = home[sf.key()]
             start = max(arrival, planned_avail[core])
-            prologue = (
-                job.work.task("fft").serial_duration_us
-                + job.work.task("demod").serial_duration_us
-                + job.work.task("decode").serial_us
-            )
-            serial_done[job.subframe.key()] = start + prologue
+            fft_us = job.work.task("fft").serial_duration_us
+            demod_us = job.work.task("demod").serial_duration_us
+            init_us = job.work.task("decode").serial_us
+            if trace is not None:
+                trace.arrival(arrival, core, sf.bs_id, sf.index)
+                cursor = start
+                for name, dur in (
+                    ("fft", fft_us), ("demod", demod_us), ("decode_init", init_us),
+                ):
+                    trace.task(core, name, cursor, cursor + dur, sf.bs_id, sf.index)
+                    cursor += dur
+            prologue = fft_us + demod_us + init_us
+            busy[core] = busy.get(core, 0.0) + prologue
+            serial_done[sf.key()] = start + prologue
             planned_avail[core] = start + prologue
 
         # Decode pieces, longest planned first, onto earliest-available
@@ -131,6 +148,8 @@ class PranScheduler:
                         job_key=job.subframe.key(),
                         planned_us=expected,
                         actual_us=sub.duration_us,
+                        bs_id=job.subframe.bs_id,
+                        sf_index=job.subframe.index,
                     )
                 )
         pieces.sort(key=lambda p: -p.planned_us)
@@ -149,7 +168,16 @@ class PranScheduler:
                 # A piece cannot start before its subframe's prologue is
                 # done (precedence), even if the plan hoped otherwise.
                 cursor = max(cursor, serial_done[piece.job_key])
+                piece_start = cursor
                 cursor += piece.actual_us + self.dispatch_cost.draw(self.rng)
+                # The dispatch overhead occupies the pool core, so the
+                # span (and busy accounting) includes it.
+                if trace is not None:
+                    trace.task(
+                        core, "decode", piece_start, cursor,
+                        piece.bs_id, piece.sf_index,
+                    )
+                busy[core] = busy.get(core, 0.0) + (cursor - piece_start)
                 finish[piece.job_key] = max(finish[piece.job_key], cursor)
             core_free[core] = cursor
 
@@ -172,4 +200,9 @@ class PranScheduler:
                 record.missed = True
                 end = job.deadline_us
             record.finish_us = end
+            if trace is not None:
+                trace.deadline(
+                    record.finish_us, home[sf.key()], record.missed,
+                    sf.bs_id, sf.index,
+                )
             records.append(record)

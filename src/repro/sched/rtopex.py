@@ -29,6 +29,7 @@ points implemented faithfully:
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -123,6 +124,11 @@ class RtOpexScheduler:
         busy: Dict[int, float] = {}
         trace = self.trace
         sim = Simulator()
+        # Migration batch ids, stamped into the planned/executed/returned
+        # events so the exporters can link one batch's three instants
+        # into a Perfetto flow across core tracks.  Allocated in
+        # decision order, so serial and parallel runs agree.
+        batch_counter = itertools.count()
 
         def note_busy(core: int, start: float, end: float) -> None:
             if end > start:
@@ -172,7 +178,9 @@ class RtOpexScheduler:
 
         # -------------------------------------------------------- helpers
 
-        def free_windows(now: float, me: int, deadline: float) -> Tuple[List[Tuple[int, float]], Dict[int, float]]:
+        def free_windows(
+            now: float, me: int, deadline: float
+        ) -> Tuple[List[Tuple[int, float]], Dict[int, float]]:
             """Free time per waiting-state helper core, largest first.
 
             A helper qualifies when its *local* processing is done; a
@@ -211,6 +219,7 @@ class RtOpexScheduler:
             owner: int = -1,
             bs_id: int = -1,
             sf_index: int = -1,
+            batch_id: int = -1,
         ) -> _BatchOutcome:
             """Book and execute a migrated batch on ``target``.
 
@@ -258,6 +267,7 @@ class RtOpexScheduler:
                     target, task_name, start, booked_until,
                     owner_core=owner, shipped=len(actual_durations),
                     completed=completed, bs_id=bs_id, sf_index=sf_index,
+                    batch=batch_id,
                 )
                 # Per-subtask spans, nested in the batch span: fully
                 # executed subtasks plus the one the preemption cut.
@@ -336,23 +346,28 @@ class RtOpexScheduler:
             local_ids = list(range(local_count))
             remote_ids = list(range(local_count, len(subtasks)))
             local_end = now + task.serial_us + sum(subtasks[i].duration_us for i in local_ids)
+            batch_ids = [next(batch_counter) for _ in assignments]
             if trace is not None:
                 trace.migration_planned(
                     earliest_start, me, task_name, shipped,
                     [target for target, _, _, _ in assignments],
                     bs_id=record.bs_id, sf_index=record.index,
+                    batches=batch_ids,
                 )
 
             stage_end = local_end
             cursor = 0
-            for target, count, batch_start, planned in assignments:
-                ids = remote_ids[cursor : cursor + count]
-                cursor += count
+            for batch_id, (target, num, batch_start, planned) in zip(
+                batch_ids, assignments
+            ):
+                ids = remote_ids[cursor : cursor + num]
+                cursor += num
                 durations = [subtasks[i].duration_us for i in ids]
                 outcome = execute_batch(
                     target, batch_start, durations, planned, local_end,
                     task_name=task_name, owner=me,
                     bs_id=record.bs_id, sf_index=record.index,
+                    batch_id=batch_id,
                 )
                 if outcome.completed:
                     stage_end = max(stage_end, outcome.ready_time)
@@ -367,6 +382,7 @@ class RtOpexScheduler:
                         completed=outcome.completed,
                         recovered=len(outcome.recovered_durations),
                         bs_id=record.bs_id, sf_index=record.index,
+                        batch=batch_id,
                     )
                 record.migrations.append(
                     MigrationEvent(

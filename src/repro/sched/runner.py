@@ -121,60 +121,88 @@ def build_workload(
     return jobs
 
 
+#: Schedulers that accept a ``trace=`` keyword — all five policies.
+TRACEABLE_SCHEDULERS = (
+    "partitioned", "global", "rt-opex", "rtopex", "pran", "cloudiq"
+)
+
+
 def run_scheduler(
     name: str,
     config: CRanConfig,
     jobs: Sequence[SubframeJob],
     seed: int = 2016,
+    capture_trace: object = False,
     **kwargs,
 ) -> SchedulerResult:
     """Run one scheduler over a prepared job list.
 
     ``name`` is one of ``partitioned``, ``global`` (respects
-    ``config.num_cores``), or ``rt-opex``; extra keyword arguments are
-    forwarded to the scheduler constructor.
+    ``config.num_cores``), ``rt-opex``, ``pran``, or ``cloudiq``; extra
+    keyword arguments are forwarded to the scheduler constructor.
 
     When an ambient tracer is installed (see :mod:`repro.obs`), each
     invocation opens its own :class:`~repro.obs.trace.RunTrace` — one
     Perfetto process per scheduler run — and the instrumented schedulers
     emit their timelines into it.  Tracing never touches the RNG
     streams, so traced and untraced runs produce identical results.
+
+    ``capture_trace`` additionally buffers this run's events on
+    ``result.trace_run`` for programmatic analysis
+    (:mod:`repro.analysis.tracestats`) — pass ``True`` for all kinds or
+    an iterable of kind names (see
+    :func:`repro.obs.events.resolve_kinds`) to capture a subset.  The
+    capture buffer is private: it works with no ambient tracer
+    installed, and with one it *tees*, leaving the ambient run's
+    filtering and streaming untouched.
     """
-    from repro.obs.trace import get_tracer
+    from repro.obs.events import resolve_kinds
+    from repro.obs.trace import RunTrace, TeeRunTrace, get_tracer
     from repro.sched.cloudiq import CloudIqScheduler
     from repro.sched.pran import PranScheduler
 
     tracer = get_tracer()
-    if tracer is not None and name in (
-        "partitioned", "global", "rt-opex", "rtopex"
-    ) and "trace" not in kwargs:
+    capture_run: Optional[RunTrace] = None
+    if name in TRACEABLE_SCHEDULERS and "trace" not in kwargs:
         label = (
             f"{name} rtt={config.transport_latency_us:g}us "
             f"cores={config.total_cores}"
         )
-        kwargs["trace"] = tracer.begin_run(
-            label,
-            scheduler=name,
-            meta={
-                "rtt_us": config.transport_latency_us,
-                "cores": config.total_cores,
-                "jobs": len(jobs),
-                "seed": seed,
-            },
-        )
+        meta = {
+            "rtt_us": config.transport_latency_us,
+            "cores": config.total_cores,
+            "jobs": len(jobs),
+            "seed": seed,
+        }
+        ambient_run = None
+        if tracer is not None:
+            ambient_run = tracer.begin_run(label, scheduler=name, meta=meta)
+        if capture_trace:
+            kinds = None if capture_trace is True else resolve_kinds(capture_trace)
+            capture_run = RunTrace(label, scheduler=name, meta=meta, kinds=kinds)
+            if ambient_run is not None:
+                kwargs["trace"] = TeeRunTrace(ambient_run, capture_run)
+            else:
+                kwargs["trace"] = capture_run
+        elif ambient_run is not None:
+            kwargs["trace"] = ambient_run
 
     streams = RngStreams(seed)
     if name == "partitioned":
-        return PartitionedScheduler(config, **kwargs).run(jobs)
-    if name == "global":
-        return GlobalScheduler(config, rng=streams.stream("global"), **kwargs).run(jobs)
-    if name in ("rt-opex", "rtopex"):
-        return RtOpexScheduler(config, rng=streams.stream("rtopex"), **kwargs).run(jobs)
-    if name == "pran":
-        return PranScheduler(config, rng=streams.stream("pran"), **kwargs).run(jobs)
-    if name == "cloudiq":
-        return CloudIqScheduler(config, **kwargs).run(jobs)
-    raise ValueError(f"unknown scheduler {name!r}")
+        result = PartitionedScheduler(config, **kwargs).run(jobs)
+    elif name == "global":
+        result = GlobalScheduler(config, rng=streams.stream("global"), **kwargs).run(jobs)
+    elif name in ("rt-opex", "rtopex"):
+        result = RtOpexScheduler(config, rng=streams.stream("rtopex"), **kwargs).run(jobs)
+    elif name == "pran":
+        result = PranScheduler(config, rng=streams.stream("pran"), **kwargs).run(jobs)
+    elif name == "cloudiq":
+        result = CloudIqScheduler(config, **kwargs).run(jobs)
+    else:
+        raise ValueError(f"unknown scheduler {name!r}")
+    if capture_run is not None:
+        result.trace_run = capture_run
+    return result
 
 
 def compare_schedulers(

@@ -86,7 +86,9 @@ class Simulator:
         if time < self._now - (ABSOLUTE_EPSILON + RELATIVE_EPSILON * abs(self._now)):
             raise ValueError(f"cannot schedule at {time} before now={self._now}")
         self._seq += 1
-        event = Event(time=max(time, self._now), priority=priority, seq=self._seq, callback=callback)
+        event = Event(
+            time=max(time, self._now), priority=priority, seq=self._seq, callback=callback
+        )
         event._owner = self
         event._queued = True
         heapq.heappush(self._queue, event)

@@ -55,7 +55,9 @@ class DownlinkTimingModel:
         )
 
 
-def build_tx_work(model: DownlinkTimingModel, grant: UplinkGrant, noise_us: float = 0.0) -> SubframeWork:
+def build_tx_work(
+    model: DownlinkTimingModel, grant: UplinkGrant, noise_us: float = 0.0
+) -> SubframeWork:
     """A serial single-task graph for one downlink encode job.
 
     Encoding is cheap enough that the paper's systems run it serially;

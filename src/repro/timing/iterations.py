@@ -137,7 +137,9 @@ class IterationModel:
         base = self.effort_offset + self.effort_slope * mcs
         extra = np.maximum(0.0, mcs - self.effort_steepening_start) * self.effort_steepening
         margin = snr_db - (base + extra)
-        frac = 1.0 / (1.0 + np.exp(np.clip((margin - self.effort_midpoint) / self.effort_scale, -60, 60)))
+        frac = 1.0 / (
+            1.0 + np.exp(np.clip((margin - self.effort_midpoint) / self.effort_scale, -60, 60))
+        )
         mean = 1.0 + (self.max_iterations - 1) * frac
         jitter = rng.logistic(loc=0.0, scale=self.jitter_scale, size=mean.shape)
         value = mean + jitter

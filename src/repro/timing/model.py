@@ -58,7 +58,9 @@ class LinearTimingModel:
 
     # -- Eq. (1) ----------------------------------------------------------
 
-    def total_time(self, num_antennas: int, modulation_order: int, load: float, iterations: float) -> float:
+    def total_time(
+        self, num_antennas: int, modulation_order: int, load: float, iterations: float
+    ) -> float:
         """Noise-free Trxproc in us for the given workload parameters."""
         c = self.coefficients
         return c.w0 + c.w1 * num_antennas + c.w2 * modulation_order + c.w3 * load * iterations

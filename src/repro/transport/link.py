@@ -17,7 +17,9 @@ ETHERNET_OVERHEAD_BYTES = 38
 DEFAULT_MTU_BYTES = 1500
 
 
-def serialization_delay_us(payload_bytes: int, rate_gbps: float, mtu_bytes: int = DEFAULT_MTU_BYTES) -> float:
+def serialization_delay_us(
+    payload_bytes: int, rate_gbps: float, mtu_bytes: int = DEFAULT_MTU_BYTES
+) -> float:
     """Time to push ``payload_bytes`` onto a link of ``rate_gbps``.
 
     Includes per-packet Ethernet overhead for the number of MTU-sized

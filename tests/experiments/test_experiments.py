@@ -131,6 +131,32 @@ class TestFig16:
         fracs = outputs["fig16"].data["fft_migration_fraction"]
         assert min(fracs) > 0.75
 
+    def test_trace_derived_gap_stats_match_records(self):
+        """The fig16 gap CDF now comes from the trace; it must agree with
+        the scheduler records it replaced to well under 1e-6."""
+        import numpy as np
+
+        from repro.analysis.stats import tail_fraction
+        from repro.analysis.tracestats import gap_cdf
+        from repro.experiments.fig16_gaps import _cdf_tail_fraction
+        from repro.sched import CRanConfig, build_workload, run_scheduler
+
+        cfg = CRanConfig(transport_latency_us=500.0)
+        jobs = build_workload(cfg, 60, seed=SEED)
+        part = run_scheduler("partitioned", cfg, jobs, capture_trace=("gap",))
+        xs, ps = gap_cdf(part.trace_run)
+        samples = np.sort(
+            np.asarray([r.gap_us for r in part.records if r.gap_us > 0])
+        )
+        assert xs == pytest.approx(samples, abs=1e-9)
+        trace_tail = _cdf_tail_fraction(xs, ps, 500.0)
+        assert trace_tail == pytest.approx(
+            tail_fraction(samples, 500.0), abs=1e-9
+        )
+        assert float(np.median(xs)) == pytest.approx(
+            float(np.median(samples)), abs=1e-9
+        )
+
 
 class TestFig17:
     def test_rtopex_supports_higher_load(self, outputs):

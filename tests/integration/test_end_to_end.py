@@ -9,7 +9,6 @@ scheduler comparison must reproduce the paper's ordering.
 import numpy as np
 import pytest
 
-from repro.lte.grid import GridConfig
 from repro.lte.subframe import UplinkGrant
 from repro.phy.chain import UplinkReceiver, UplinkTransmitter
 from repro.phy.channel import AwgnChannel

@@ -5,7 +5,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.lte.harq import HarqOutcome, simulate_harq
+from repro.lte.harq import simulate_harq
 from repro.sched import CRanConfig, SchedulerResult
 from repro.sched.base import SubframeRecord
 

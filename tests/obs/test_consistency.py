@@ -21,7 +21,7 @@ from repro.obs.trace import Tracer, tracing
 from repro.runtime import ExperimentRunner
 from repro.sched import run_scheduler
 
-SCHEDULERS = ("partitioned", "global", "rt-opex")
+SCHEDULERS = ("partitioned", "global", "rt-opex", "pran", "cloudiq")
 
 
 @pytest.fixture(scope="module")
@@ -83,6 +83,30 @@ class TestSchedulerTraceConsistency:
         result, run = traced_runs["partitioned"]
         expected = sorted(r.gap_us for r in result.records if r.gap_us > 0)
         assert sorted(tracestats.gap_samples(run)) == pytest.approx(expected)
+
+    def test_cloudiq_admission_drops_are_deadline_events(self, traced_runs):
+        result, run = traced_runs["cloudiq"]
+        dropped = sum(1 for r in result.records if r.drop_stage == "admission")
+        traced_drops = sum(
+            1 for e in run.events
+            if e.kind == "deadline" and e.args.get("drop_stage") == "admission"
+        )
+        assert traced_drops == dropped
+
+    def test_rtopex_migration_flows_are_complete_triples(self, traced_runs):
+        _, run = traced_runs["rt-opex"]
+        flows = tracestats.migration_flows(run)
+        assert flows, "expected at least one migration batch at rtt=500us"
+        for batch, stages in flows.items():
+            # Planned always exists; executed implies the span landed on
+            # the planned target; returned closes the flow.
+            assert set(stages) == {"planned", "executed", "returned"}, batch
+            assert stages["executed"].core in stages["planned"].args["targets"]
+            assert (
+                stages["planned"].ts_us
+                <= stages["executed"].ts_us
+                <= stages["returned"].ts_us
+            )
 
 
 class TestSerialParallelTraceIdentity:

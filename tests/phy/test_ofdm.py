@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.constants import SYMBOLS_PER_SUBFRAME
-from repro.lte.grid import GridConfig
 from repro.phy.ofdm import (
     OfdmDemodulator,
     OfdmModulator,

@@ -105,7 +105,8 @@ class TestDemapping:
         symbols = qam_map(bits, q_m)
         # 64QAM needs ~27 dB for a comfortably low uncoded BER.
         noise_var = 0.002
-        noisy = symbols + rng.normal(scale=np.sqrt(noise_var / 2), size=(symbols.size, 2)).view(np.complex128).ravel()
+        noise = rng.normal(scale=np.sqrt(noise_var / 2), size=(symbols.size, 2))
+        noisy = symbols + noise.view(np.complex128).ravel()
         llrs = qam_demap_llr(noisy, q_m, noise_var)
         errors = np.sum(hard_bits_from_llrs(llrs) != bits)
         assert errors / bits.size < 0.01

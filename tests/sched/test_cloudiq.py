@@ -1,7 +1,5 @@
 """Tests for the CloudIQ-style WCET-admission scheduler."""
 
-import pytest
-
 from repro.sched import CloudIqScheduler, CRanConfig, run_scheduler
 
 from tests.helpers import make_job

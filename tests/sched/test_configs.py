@@ -5,7 +5,6 @@ not.  These tests sweep the configuration space the API admits and
 check the schedulers stay sound and the paper's ordering stays put.
 """
 
-import numpy as np
 import pytest
 
 from repro.sched import CRanConfig, build_workload, run_scheduler

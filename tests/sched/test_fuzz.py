@@ -7,7 +7,6 @@ no-worse-than-baseline guarantee.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.sched import (

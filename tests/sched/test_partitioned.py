@@ -1,7 +1,5 @@
 """Tests for the partitioned scheduler."""
 
-import math
-
 import pytest
 
 from repro.lte.grid import GridConfig
@@ -16,7 +14,9 @@ def make_job(bs, index, mcs, iters, rtt=500.0, noise=0.0):
     grant = UplinkGrant(mcs=mcs, num_prbs=50, num_antennas=2)
     iters = (list(iters) * 8)[: grant.code_blocks]
     work = build_subframe_work(LinearTimingModel(), grant, iters, max_iterations=4)
-    sf = Subframe(bs_id=bs, index=index, grant=grant, transport_latency_us=rtt, grid=GridConfig(10.0))
+    sf = Subframe(
+        bs_id=bs, index=index, grant=grant, transport_latency_us=rtt, grid=GridConfig(10.0)
+    )
     return SubframeJob(subframe=sf, work=work, noise_us=noise, load=mcs / 27.0)
 
 

@@ -1,7 +1,6 @@
 """Tests for the PRAN-style plan-ahead scheduler."""
 
 import numpy as np
-import pytest
 
 from repro.sched import CRanConfig, PranScheduler, run_scheduler
 from repro.timing.iterations import IterationModel

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.sched import CRanConfig, build_workload, run_scheduler
+from repro.sched import build_workload, run_scheduler
 from repro.sched.runner import compare_schedulers
 
 

@@ -7,8 +7,6 @@ from repro.sched import CRanConfig, PartitionedScheduler, RtOpexScheduler, build
 from repro.sched.base import assigned_core_for, partitioned_core_for
 from repro.workload.downlink import build_tx_jobs
 
-from tests.helpers import make_job
-
 
 @pytest.fixture(scope="module")
 def cfg():

@@ -13,8 +13,8 @@ import pytest
 from repro.cli import main
 from repro.experiments.base import scaled_subframes
 from repro.obs.events import DEADLINE
-from repro.obs.export import read_jsonl_trace
-from repro.obs.schema import assert_valid_chrome_trace
+from repro.obs.export import iter_jsonl_lines, read_jsonl_trace
+from repro.obs.schema import assert_valid_chrome_trace, validate_jsonl_trace
 
 pytestmark = pytest.mark.trace_smoke
 
@@ -102,3 +102,100 @@ class TestTraceSmoke:
         assert trace["path"] == str(trace_path)
         assert trace["format"] == "chrome"
         assert trace["deadline_misses"] == 0
+
+
+class TestTable2AllSchedulersTraced:
+    def test_all_five_baselines_emit_schema_valid_traces(self, tmp_path):
+        path = tmp_path / "table2.jsonl"
+        assert main(
+            [
+                "table2", "--scale", SCALE, "--no-cache",
+                "--trace", str(path), "--trace-format", "jsonl",
+            ]
+        ) == 0
+        lines = list(iter_jsonl_lines(path))
+        assert validate_jsonl_trace(lines) == []
+        headers = [line for line in lines if line["type"] == "run"]
+        assert {h["scheduler"] for h in headers} == {
+            "pran", "cloudiq", "partitioned", "global", "rt-opex",
+        }
+        # Every scheduler run put real events on the timeline.
+        populated = {line["run"] for line in lines if line["type"] == "event"}
+        assert populated == {h["index"] for h in headers}
+
+
+class TestTraceKinds:
+    def test_kind_filter_reaches_the_file(self, tmp_path):
+        path = tmp_path / "filtered.jsonl"
+        assert main(
+            [
+                "fig15", "--scale", SCALE, "--no-cache",
+                "--trace", str(path), "--trace-format", "jsonl",
+                "--trace-kinds", "deadline,gap",
+            ]
+        ) == 0
+        tracer = read_jsonl_trace(path)
+        kinds = {e.kind for run in tracer.runs for e in run.events}
+        assert kinds == {"deadline", "gap"}
+
+    def test_migration_alias_expands_to_triple(self, tmp_path):
+        path = tmp_path / "migrations.jsonl"
+        assert main(
+            [
+                "fig15", "--scale", SCALE, "--no-cache",
+                "--trace", str(path), "--trace-format", "jsonl",
+                "--trace-kinds", "migration",
+            ]
+        ) == 0
+        tracer = read_jsonl_trace(path)
+        kinds = {e.kind for run in tracer.runs for e in run.events}
+        assert kinds == {
+            "migration_planned", "migration_executed", "migration_returned",
+        }
+
+    def test_unknown_kind_is_a_usage_error(self, tmp_path, capsys):
+        code = main(
+            [
+                "fig4", "--no-cache",
+                "--trace", str(tmp_path / "t.json"),
+                "--trace-kinds", "deadline,bogus",
+            ]
+        )
+        assert code == 2
+        assert "bogus" in capsys.readouterr().err
+        assert not (tmp_path / "t.json").exists()  # rejected before opening
+
+    def test_trace_kinds_without_trace_is_a_usage_error(self, capsys):
+        assert main(["fig4", "--no-cache", "--trace-kinds", "deadline"]) == 2
+        assert "--trace-kinds requires --trace" in capsys.readouterr().err
+
+
+class TestTraceCacheInteraction:
+    def test_trace_warns_that_the_cache_is_disabled(self, tmp_path, capsys):
+        assert main(["fig4", "--trace", str(tmp_path / "t.json")]) == 0
+        err = capsys.readouterr().err
+        assert "warning:" in err and "disables the result cache" in err
+
+    def test_no_cache_suppresses_the_warning(self, tmp_path, capsys):
+        assert main(
+            ["fig4", "--no-cache", "--trace", str(tmp_path / "t.json")]
+        ) == 0
+        assert "warning:" not in capsys.readouterr().err
+
+    def test_disabled_reason_lands_in_json_telemetry(self, tmp_path):
+        report_path = tmp_path / "report.json"
+        assert main(
+            [
+                "fig4", "--trace", str(tmp_path / "t.json"),
+                "--json", str(report_path),
+            ]
+        ) == 0
+        report = json.loads(report_path.read_text())
+        reason = report["cache"]["disabled_reason"]
+        assert reason is not None and "--trace" in reason
+
+    def test_disabled_reason_is_null_without_trace(self, tmp_path):
+        report_path = tmp_path / "report.json"
+        assert main(["fig4", "--no-cache", "--json", str(report_path)]) == 0
+        report = json.loads(report_path.read_text())
+        assert report["cache"]["disabled_reason"] is None

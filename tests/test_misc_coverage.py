@@ -10,12 +10,11 @@ from repro.experiments.base import (
     register,
     scaled_subframes,
 )
+from repro.lte.subframe import Subframe, UplinkGrant
 from repro.phy.ofdm import OfdmDemodulator, OfdmModulator
-from repro.lte.grid import GridConfig
 from repro.sched.base import SubframeJob
 from repro.timing.model import LinearTimingModel
 from repro.timing.tasks import build_subframe_work
-from repro.lte.subframe import Subframe, UplinkGrant
 
 
 class TestExperimentBase:

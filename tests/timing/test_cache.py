@@ -1,8 +1,5 @@
 """Tests for the cache-affinity and migration-cost models."""
 
-import numpy as np
-import pytest
-
 from repro.timing.cache import CacheAffinityModel, MigrationCostModel
 
 

@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.constants import W0_US, W1_US, W2_US, W3_US
 from repro.lte.subframe import UplinkGrant

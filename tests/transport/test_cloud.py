@@ -57,4 +57,5 @@ class TestFronthaul:
 
     def test_paper_distance_range(self):
         # 20-40 km fronthaul -> 0.1-0.2 ms one-way propagation.
-        assert 100.0 <= FronthaulModel(distance_km=30.0, switch_overhead_us=0.0).one_way_latency_us() <= 200.0
+        model = FronthaulModel(distance_km=30.0, switch_overhead_us=0.0)
+        assert 100.0 <= model.one_way_latency_us() <= 200.0
