@@ -19,7 +19,7 @@ cover that region densely enough to identify it).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -61,7 +61,7 @@ def fit_iteration_model(
     snr_db: np.ndarray,
     iterations: np.ndarray,
     max_iterations: int = 4,
-    reference: IterationModel = None,
+    reference: Optional[IterationModel] = None,
 ) -> CalibrationResult:
     """Fit effort parameters to logged decoder iteration counts.
 

@@ -1,0 +1,59 @@
+"""Correctness tooling for the reproduction: determinism lint + sanitizer.
+
+Two halves, one goal — make the determinism and causality claims the
+results rest on mechanically checkable:
+
+* :mod:`repro.check.lint` — an AST lint (``python -m repro.check lint``)
+  for the hazard classes in :mod:`repro.check.rules` (wall clocks,
+  global RNG, unordered iteration, microsecond unit mixing, mutable
+  defaults).
+* :mod:`repro.check.sanitizer` — an online virtual-time sanitizer for
+  the event streams the schedulers emit (``--sanitize`` on the CLI,
+  ``RTOPEX_SANITIZE=1`` for tests).
+"""
+
+from repro.check.lint import (
+    Finding,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.check.rules import (
+    RULES,
+    RULES_BY_ID,
+    Rule,
+    explain,
+    rule_table,
+)
+from repro.check.sanitizer import (
+    ALL_CHECKS,
+    SANITIZE_ENV_VAR,
+    SanitizerError,
+    SanitizingSink,
+    SanitizingTrace,
+    TraceSanitizer,
+    checks_for_scheduler,
+    sanitize_enabled,
+)
+
+__all__ = [
+    "ALL_CHECKS",
+    "Finding",
+    "RULES",
+    "RULES_BY_ID",
+    "Rule",
+    "SANITIZE_ENV_VAR",
+    "SanitizerError",
+    "SanitizingSink",
+    "SanitizingTrace",
+    "TraceSanitizer",
+    "checks_for_scheduler",
+    "explain",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "rule_table",
+    "sanitize_enabled",
+]

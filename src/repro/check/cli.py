@@ -1,0 +1,90 @@
+"""``python -m repro.check`` — the correctness-tooling command line.
+
+Subcommands::
+
+    python -m repro.check lint [PATH ...]   # default: src/repro
+    python -m repro.check rules             # ruff-style rule table
+    python -m repro.check rules --explain RTX003
+
+Exit codes follow linter convention: 0 clean, 1 findings, 2 usage or
+I/O errors (unreadable path, syntax error in a linted file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.check.lint import lint_paths
+from repro.check.rules import explain, rule_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.check",
+        description="Determinism lint and rule table for the RT-OPEX repro.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint_parser = sub.add_parser(
+        "lint", help="lint files/trees for determinism hazards (RTX0NN rules)"
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+
+    rules_parser = sub.add_parser("rules", help="list the lint rules")
+    rules_parser.add_argument(
+        "--explain",
+        metavar="RTX0NN",
+        default=None,
+        help="print one rule's full rationale instead of the table",
+    )
+    return parser
+
+
+def _run_lint(paths: Sequence[str]) -> int:
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        print(f"repro.check: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    try:
+        findings = lint_paths(paths)
+    except SyntaxError as exc:
+        print(f"repro.check: cannot parse {exc.filename}:{exc.lineno}: {exc.msg}",
+              file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"repro.check: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_rules(explain_id: Optional[str]) -> int:
+    if explain_id is None:
+        print(rule_table())
+        return 0
+    try:
+        print(explain(explain_id))
+    except KeyError as exc:
+        print(f"repro.check: {exc.args[0]}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "lint":
+        return _run_lint(args.paths)
+    return _run_rules(args.explain)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,477 @@
+"""AST determinism lint for the RT-OPEX reproduction.
+
+A small, repo-specific static analyzer: it walks Python sources with
+:mod:`ast` and flags the hazard classes in :mod:`repro.check.rules` —
+wall-clock reads, global/unseeded RNG use, unordered iteration feeding
+scheduling decisions, int/float microsecond mixing, and mutable default
+arguments.  It is deliberately syntactic: no type inference, no data
+flow — every rule is written so that a match is either a real hazard or
+a line that *deserves* the explicit ``sorted()`` / seed / waiver that
+silences it.
+
+Entry points: :func:`lint_source` (one module, for tests and fixtures),
+:func:`lint_file`, and :func:`lint_paths` (files and directory trees,
+what the CLI calls).  Findings are returned sorted and render as
+``path:line:col RTX0NN message`` — the same shape ruff prints, so CI
+output stays familiar.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.check.rules import (
+    MUTABLE_DEFAULT,
+    ORDERED_MODULE_PARTS,
+    UNORDERED_ITERATION,
+    UNSEEDED_RNG,
+    US_UNIT_MIXING,
+    WAIVER_MARKER,
+    WALLCLOCK,
+    WALLCLOCK_ALLOWED_PARTS,
+    Rule,
+    path_matches,
+)
+
+PathLike = Union[str, Path]
+
+#: Canonical wall-clock callables (after alias resolution).
+_WALLCLOCK_CALLS: Set[str] = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.clock_gettime",
+    "time.clock_gettime_ns",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: ``datetime.now()`` is a wall-clock read only when called with no
+#: ``tz``/argument — an argful call is still wall clock, so flag both;
+#: kept separate for the message text.
+_DATETIME_NOW = "datetime.datetime.now"
+
+#: numpy.random module-level functions that mutate/read the hidden
+#: global RandomState.  Seeded constructors (default_rng(seed),
+#: Generator, SeedSequence, PCG64...) are deliberately absent.
+_NP_GLOBAL_STATE_FNS: Set[str] = {
+    "seed", "random", "rand", "randn", "randint", "random_sample",
+    "random_integers", "ranf", "sample", "bytes", "choice", "shuffle",
+    "permutation", "uniform", "normal", "standard_normal", "gamma",
+    "poisson", "exponential", "beta", "binomial", "lognormal",
+    "get_state", "set_state",
+}
+
+#: Order-preserving wrappers that are transparent for RTX003: iterating
+#: ``enumerate(d.values())`` is exactly as unordered as ``d.values()``.
+_TRANSPARENT_WRAPPERS: Set[str] = {"enumerate", "reversed", "list", "tuple", "zip"}
+
+#: Builtin constructors whose call as a default argument is mutable.
+_MUTABLE_CONSTRUCTORS: Set[str] = {"list", "dict", "set", "bytearray", "defaultdict"}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation, addressable as ``path:line:col``."""
+
+    path: str
+    line: int
+    col: int
+    rule: Rule
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col} {self.rule.rule_id} {self.message}"
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule.rule_id)
+
+
+class _Aliases:
+    """Import-alias tracking: local name -> canonical dotted prefix."""
+
+    def __init__(self) -> None:
+        self.names: Dict[str, str] = {}
+
+    def add_import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            canonical = alias.name if alias.asname else alias.name.split(".")[0]
+            self.names[local] = canonical
+
+    def add_import_from(self, node: ast.ImportFrom) -> None:
+        if node.module is None or node.level:
+            return  # relative imports never reach stdlib/numpy
+        for alias in node.names:
+            local = alias.asname or alias.name
+            self.names[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted name of a Name/Attribute chain, or None."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        parts.reverse()
+        head = self.names.get(parts[0], parts[0])
+        # "numpy" may itself be aliased ("np"); canonicalize the head
+        # then re-join the attribute tail.
+        return ".".join([head] + parts[1:])
+
+
+def _canonical_np(name: str) -> Optional[Tuple[str, str]]:
+    """Split a resolved dotted name into (``numpy.random``, fn) if it is one."""
+    if not name.startswith("numpy."):
+        return None
+    parts = name.split(".")
+    if len(parts) >= 3 and parts[1] == "random":
+        return ".".join(parts[:-1]), parts[-1]
+    return None
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: str, module_parts: Sequence[str]):
+        self.path = path
+        self.module_parts = tuple(module_parts)
+        self.aliases = _Aliases()
+        self.findings: List[Finding] = []
+        self.wallclock_allowed = path_matches(self.module_parts, WALLCLOCK_ALLOWED_PARTS)
+        self.ordered_module = path_matches(self.module_parts, ORDERED_MODULE_PARTS)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _flag(self, node: ast.AST, rule: Rule, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                rule=rule,
+                message=message,
+            )
+        )
+
+    # -- imports -------------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        self.aliases.add_import(node)
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("random."):
+                self._flag(
+                    node, UNSEEDED_RNG,
+                    "stdlib `random` uses hidden global state; draw from "
+                    "repro.sim.rng.RngStreams instead",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self.aliases.add_import_from(node)
+        if node.module == "random" and not node.level:
+            self._flag(
+                node, UNSEEDED_RNG,
+                "stdlib `random` uses hidden global state; draw from "
+                "repro.sim.rng.RngStreams instead",
+            )
+        self.generic_visit(node)
+
+    # -- calls ---------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self.aliases.resolve(node.func)
+        if name is not None:
+            self._check_wallclock(node, name)
+            self._check_numpy_rng(node, name)
+        self.generic_visit(node)
+
+    def _check_wallclock(self, node: ast.Call, name: str) -> None:
+        if self.wallclock_allowed:
+            return
+        if name in _WALLCLOCK_CALLS:
+            self._flag(
+                node, WALLCLOCK,
+                f"wall-clock call {name}() outside repro.runtime; the "
+                "simulation must use virtual time",
+            )
+        elif name == _DATETIME_NOW or name.endswith(".now") and name in (
+            "datetime.now",  # `from datetime import datetime` unresolved tail
+        ):
+            self._flag(
+                node, WALLCLOCK,
+                "datetime.now() reads the wall clock outside repro.runtime",
+            )
+
+    def _check_numpy_rng(self, node: ast.Call, name: str) -> None:
+        split = _canonical_np(name)
+        if split is None:
+            return
+        _, fn = split
+        if fn in _NP_GLOBAL_STATE_FNS:
+            self._flag(
+                node, UNSEEDED_RNG,
+                f"numpy global-state RNG numpy.random.{fn}(); use a seeded "
+                "Generator from repro.sim.rng.RngStreams",
+            )
+        elif fn == "default_rng" and not node.args and not node.keywords:
+            self._flag(
+                node, UNSEEDED_RNG,
+                "numpy.random.default_rng() without a seed is entropy-"
+                "seeded; pass an explicit seed or use repro.sim.rng",
+            )
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # A *reference* to default_rng (not a call) escapes as an
+        # unseeded factory — e.g. `field(default_factory=np.random.default_rng)`.
+        if node.attr == "default_rng" and not isinstance(
+            getattr(node, "_parent_call", None), ast.Call
+        ):
+            name = self.aliases.resolve(node)
+            if name is not None and _canonical_np(name) is not None:
+                self._flag(
+                    node, UNSEEDED_RNG,
+                    "bare numpy.random.default_rng reference escapes as an "
+                    "unseeded factory; wrap it with an explicit seed",
+                )
+        self.generic_visit(node)
+
+    # -- iteration order (RTX003) --------------------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        for generator in getattr(node, "generators", []):
+            self._check_iteration(generator.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    def _check_iteration(self, iter_node: ast.expr) -> None:
+        if not self.ordered_module:
+            return
+        expr: ast.expr = iter_node
+        # Unwrap order-preserving wrappers (enumerate(d.values()) is as
+        # unordered as d.values() itself).
+        while (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id in _TRANSPARENT_WRAPPERS
+            and expr.args
+        ):
+            expr = expr.args[0]
+        if isinstance(expr, ast.Set) or (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id in ("set", "frozenset")
+        ):
+            self._flag(
+                iter_node, UNORDERED_ITERATION,
+                "iterating a set in a scheduling module; wrap in sorted() "
+                "with an explicit key",
+            )
+        elif (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr in ("keys", "values", "items")
+            and not expr.args
+        ):
+            self._flag(
+                iter_node, UNORDERED_ITERATION,
+                f"iterating .{expr.func.attr}() in a scheduling module; "
+                "iterate sorted(...) so the order is part of the contract",
+            )
+
+    # -- microsecond unit hygiene (RTX004) -----------------------------------
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_us_annotation(node.target, node.annotation)
+        self.generic_visit(node)
+
+    def _check_us_annotation(self, target: ast.expr, annotation: ast.expr) -> None:
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        elif isinstance(target, ast.arg):  # pragma: no cover - arg path below
+            name = target.arg
+        if name is None or not name.endswith("_us"):
+            return
+        if isinstance(annotation, ast.Name) and annotation.id == "int":
+            self._flag(
+                annotation, US_UNIT_MIXING,
+                f"microsecond field `{name}` annotated int; virtual time is "
+                "float microseconds end to end",
+            )
+
+    def _check_arg_annotations(self, args: ast.arguments) -> None:
+        all_args = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        for arg in all_args:
+            if (
+                arg.arg.endswith("_us")
+                and isinstance(arg.annotation, ast.Name)
+                and arg.annotation.id == "int"
+            ):
+                self._flag(
+                    arg, US_UNIT_MIXING,
+                    f"microsecond argument `{arg.arg}` annotated int; "
+                    "virtual time is float microseconds",
+                )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # Int-literal microsecond *constants* (FOO_US = 30) truncate
+        # later arithmetic differently than floats on some paths.
+        if (
+            isinstance(node.value, ast.Constant)
+            and type(node.value.value) is int
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id.endswith("_US"):
+                    self._flag(
+                        node, US_UNIT_MIXING,
+                        f"microsecond constant `{target.id}` is an int "
+                        "literal; write it as a float",
+                    )
+        self.generic_visit(node)
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, ast.FloorDiv):
+            for side in (node.left, node.right):
+                name = None
+                if isinstance(side, ast.Name):
+                    name = side.id
+                elif isinstance(side, ast.Attribute):
+                    name = side.attr
+                if name is not None and name.endswith("_us"):
+                    self._flag(
+                        node, US_UNIT_MIXING,
+                        f"floor division on microsecond value `{name}` "
+                        "truncates virtual time; use true division",
+                    )
+                    break
+        self.generic_visit(node)
+
+    # -- mutable defaults (RTX005) -------------------------------------------
+
+    def _check_defaults(self, node: ast.AST, args: ast.arguments) -> None:
+        defaults = list(args.defaults) + [d for d in args.kw_defaults if d is not None]
+        for default in defaults:
+            if isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_CONSTRUCTORS
+            ):
+                self._flag(
+                    default, MUTABLE_DEFAULT,
+                    "mutable default argument is shared across calls; "
+                    "default to None and allocate inside the function",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node, node.args)
+        self._check_arg_annotations(node.args)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node, node.args)
+        self._check_arg_annotations(node.args)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node, node.args)
+        self.generic_visit(node)
+
+
+def _mark_call_parents(tree: ast.AST) -> None:
+    """Tag each Call's func node so bare-reference checks can skip it."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            node.func._parent_call = node  # type: ignore[attr-defined]
+
+
+def _apply_waivers(findings: List[Finding], source: str) -> List[Finding]:
+    """Drop findings waived by an inline ``# repro-check: allow`` comment."""
+    lines = source.splitlines()
+    kept: List[Finding] = []
+    for finding in findings:
+        if 1 <= finding.line <= len(lines):
+            text = lines[finding.line - 1]
+            marker = text.find(WAIVER_MARKER)
+            if marker >= 0:
+                spec = text[marker + len(WAIVER_MARKER):].strip()
+                waived = {part.strip().upper() for part in spec.split(",") if part.strip()}
+                if not waived or finding.rule.rule_id in waived:
+                    continue
+        kept.append(finding)
+    return kept
+
+
+def lint_source(
+    source: str,
+    path: PathLike = "<string>",
+    module_parts: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint one module's source text.
+
+    ``module_parts`` overrides the path components used for the
+    path-scoped rules (wall-clock allowlist, ordered-iteration scope) —
+    fixtures use it to impersonate scheduling modules.
+    """
+    path_str = str(path)
+    if module_parts is None:
+        module_parts = Path(path_str).parts
+    tree = ast.parse(source, filename=path_str)
+    _mark_call_parents(tree)
+    visitor = _Visitor(path_str, module_parts)
+    visitor.visit(tree)
+    return sorted(_apply_waivers(visitor.findings, source), key=lambda f: f.sort_key)
+
+
+def lint_file(path: PathLike) -> List[Finding]:
+    """Lint one file on disk."""
+    file_path = Path(path)
+    return lint_source(file_path.read_text(), path=file_path)
+
+
+def iter_python_files(paths: Sequence[PathLike]) -> List[Path]:
+    """Expand files and directory trees into a sorted .py file list."""
+    files: List[Path] = []
+    for entry in paths:
+        entry_path = Path(entry)
+        if entry_path.is_dir():
+            files.extend(
+                candidate
+                for candidate in sorted(entry_path.rglob("*.py"))
+                if "__pycache__" not in candidate.parts
+            )
+        else:
+            files.append(entry_path)
+    return files
+
+
+def lint_paths(paths: Iterable[PathLike]) -> List[Finding]:
+    """Lint files and directory trees; findings come back sorted."""
+    findings: List[Finding] = []
+    for file_path in iter_python_files(list(paths)):
+        findings.extend(lint_file(file_path))
+    return sorted(findings, key=lambda f: f.sort_key)

@@ -33,6 +33,16 @@ event count and a killed run leaves a loadable prefix behind (JSONL).
 named kinds.  Tracing forces the result cache off (with a warning): a
 cache-served unit executes no scheduler and would leave holes in the
 timeline.
+
+``--sanitize`` runs the virtual-time sanitizer over every scheduler
+run's event stream (see :mod:`repro.check.sanitizer`): core-track
+overlap, time monotonicity, migration-batch conservation, span nesting,
+and deadline-verdict consistency are validated online, and the first
+violation aborts the run with a ``SanitizerError``.  It composes with
+``--trace`` (the exported stream is exactly what gets validated) but
+not with ``--trace-kinds`` — conservation needs the full stream — and,
+like tracing, it forces the cache off: a cache-served unit executes no
+scheduler, so there would be nothing to validate.
 """
 
 from __future__ import annotations
@@ -111,6 +121,15 @@ def build_parser() -> argparse.ArgumentParser:
             "planned/executed/returned triple; default: everything"
         ),
     )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help=(
+            "validate every scheduler run's event stream online "
+            "(virtual-time sanitizer); incompatible with --trace-kinds, "
+            "disables the cache"
+        ),
+    )
     return parser
 
 
@@ -163,6 +182,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not args.trace_path:
             print("error: --trace-kinds requires --trace PATH", file=sys.stderr)
             return 2
+        if args.sanitize:
+            print(
+                "error: --sanitize is incompatible with --trace-kinds "
+                "(migration-batch conservation needs the full event stream)",
+                file=sys.stderr,
+            )
+            return 2
         from repro.obs import resolve_kinds
 
         try:
@@ -171,36 +197,56 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
 
+    observing = bool(args.trace_path) or args.sanitize
     cache = None
     cache_disabled_reason = None
-    if args.trace_path and not args.no_cache:
+    if observing and not args.no_cache:
+        flag = "--trace" if args.trace_path else "--sanitize"
         cache_disabled_reason = (
-            "--trace disables the result cache: a cache-served unit "
+            f"{flag} disables the result cache: a cache-served unit "
             "executes no scheduler and would leave holes in the timeline"
         )
         print(f"warning: {cache_disabled_reason}", file=sys.stderr)
-    if not args.no_cache and not args.trace_path:
+    if not args.no_cache and not observing:
         cache_dir = args.cache_dir if args.cache_dir else default_cache_dir()
         cache = ResultCache(cache_dir)
 
     runner = ExperimentRunner(jobs=args.jobs, cache=cache)
-    if args.trace_path:
+    if observing:
+        from repro.check import SanitizerError, SanitizingSink
         from repro.obs import Tracer, open_sink, tracing
 
-        sink = open_sink(args.trace_path, args.trace_format)
+        sink = open_sink(args.trace_path, args.trace_format) if args.trace_path else None
+        sanitizing_sink = None
+        if args.sanitize:
+            sanitizing_sink = SanitizingSink(sink)
+            sink = sanitizing_sink
         tracer = Tracer(kinds=trace_kinds, sink=sink)
         try:
             with tracing(tracer):
                 results, report = runner.run(
                     ids, scale=args.scale, seed=args.seed, on_result=_print_result
                 )
-        finally:
             sink.close()
-        report.trace_summary = {
-            **tracer.summary(),
-            "path": args.trace_path,
-            "format": args.trace_format,
-        }
+        except SanitizerError as exc:
+            sys.stderr.write(f"error: {exc}\n")
+            return 1
+        except BaseException:
+            # Close the file handle on the error path too, but swallow
+            # sanitizer end-of-run errors: the original failure wins.
+            try:
+                sink.close()
+            except SanitizerError:
+                pass
+            raise
+        if args.trace_path:
+            report.trace_summary = {
+                **tracer.summary(),
+                "path": args.trace_path,
+                "format": args.trace_format,
+            }
+        if sanitizing_sink is not None:
+            report.sanitizer_summary = sanitizing_sink.summary()
         report.cache_disabled_reason = cache_disabled_reason
     else:
         results, report = runner.run(

@@ -58,6 +58,7 @@ from repro.obs.trace import (
     RunTrace,
     TeeRunTrace,
     Tracer,
+    TraceSink,
     TraceStats,
     get_tracer,
     set_tracer,
@@ -81,6 +82,7 @@ __all__ = [
     "TASK",
     "TeeRunTrace",
     "TraceEvent",
+    "TraceSink",
     "TraceStats",
     "Tracer",
     "assert_valid_chrome_trace",

@@ -32,7 +32,17 @@ the ambient tracer when one is installed and passes the resulting
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 from repro.obs.events import (
     ARRIVAL,
@@ -45,6 +55,23 @@ from repro.obs.events import (
     TASK,
     TraceEvent,
 )
+
+
+@runtime_checkable
+class TraceSink(Protocol):
+    """Structural interface every streaming sink implements.
+
+    The exporters (:mod:`repro.obs.export`) and the sanitizing wrapper
+    (:class:`repro.check.SanitizingSink`) all satisfy it: a run header
+    hook, a per-event hook, and a close.  ``RunTrace``/:class:`Tracer`
+    accept any object with this shape.
+    """
+
+    def begin_run(self, run: "RunTrace") -> None: ...
+
+    def event(self, run: "RunTrace", event: TraceEvent) -> None: ...
+
+    def close(self) -> None: ...
 
 
 class TraceStats:
@@ -91,8 +118,8 @@ class RunTrace:
         label: str,
         scheduler: str = "",
         meta: Optional[Mapping[str, object]] = None,
-        kinds: Optional[frozenset] = None,
-        sink=None,
+        kinds: Optional[FrozenSet[str]] = None,
+        sink: Optional[TraceSink] = None,
         stats: Optional[TraceStats] = None,
     ):
         self.label = label
@@ -298,7 +325,9 @@ class RunTrace:
             meta=dict(payload.get("begin_meta", meta)),
         )
         run.meta.update(meta)
-        run.events = [TraceEvent.from_dict(e) for e in payload.get("events", [])]
+        events = payload.get("events", [])
+        if isinstance(events, list):
+            run.events = [TraceEvent.from_dict(e) for e in events]
         return run
 
 
@@ -335,7 +364,11 @@ class Tracer:
     :meth:`ingest_payload`.
     """
 
-    def __init__(self, kinds: Optional[frozenset] = None, sink=None) -> None:
+    def __init__(
+        self,
+        kinds: Optional[FrozenSet[str]] = None,
+        sink: Optional[TraceSink] = None,
+    ) -> None:
         self.runs: List[RunTrace] = []
         self.kinds = kinds
         self.sink = sink
@@ -399,7 +432,10 @@ class Tracer:
         filter, counters, and streaming sink apply exactly as they
         would have for a serial in-process run.
         """
-        for run_payload in payload.get("runs", []):
+        runs = payload.get("runs", [])
+        if not isinstance(runs, list):
+            return
+        for run_payload in runs:
             meta = dict(run_payload.get("meta", {}))
             # begin_run writes the streamed header, so it must see the
             # worker's begin-time meta snapshot (what a serial run's
@@ -410,8 +446,10 @@ class Tracer:
                 meta=dict(run_payload.get("begin_meta", meta)),
             )
             run.meta.update(meta)
-            for event_payload in run_payload.get("events", []):
-                run.emit(TraceEvent.from_dict(event_payload))
+            events = run_payload.get("events", [])
+            if isinstance(events, list):
+                for event_payload in events:
+                    run.emit(TraceEvent.from_dict(event_payload))
 
 
 # -- ambient tracer context ---------------------------------------------------

@@ -122,7 +122,7 @@ class UplinkTransmitter:
         rng: Optional[np.random.Generator] = None,
     ) -> EncodedSubframe:
         """Encode ``payload`` (random if omitted) into a time-domain subframe."""
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng(0)
         tbs = grant.tbs_bits
         if payload is None:
             payload = rng.integers(0, 2, tbs).astype(np.uint8)

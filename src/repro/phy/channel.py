@@ -41,7 +41,7 @@ class AwgnChannel:
 
     snr_db: float
     num_antennas: int = 1
-    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
 
     def apply(self, waveform: np.ndarray) -> np.ndarray:
         """Return a ``(num_antennas, ...)`` stack of noisy observations."""
@@ -72,7 +72,7 @@ class BlockFadingChannel:
 
     snr_db: float
     num_antennas: int = 1
-    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
     last_gains: Optional[np.ndarray] = field(default=None, init=False)
 
     def apply(self, waveform: np.ndarray) -> np.ndarray:

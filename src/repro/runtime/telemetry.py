@@ -45,6 +45,9 @@ class RunReport:
     #: Tracer roll-up (runs/events/misses + output path) when ``--trace``
     #: was active; ``None`` for untraced runs.
     trace_summary: Optional[Dict[str, object]] = None
+    #: Virtual-time sanitizer attestation (runs/events validated) when
+    #: ``--sanitize`` was active; ``None`` for unsanitized runs.
+    sanitizer_summary: Optional[Dict[str, object]] = None
 
     @property
     def experiment_ids(self) -> List[str]:
@@ -86,6 +89,13 @@ class RunReport:
                     path=self.trace_summary.get("path", "?"),
                 )
             )
+        if self.sanitizer_summary is not None:
+            parts.append(
+                "sanitizer OK ({runs} runs / {events} events)".format(
+                    runs=self.sanitizer_summary.get("runs", 0),
+                    events=self.sanitizer_summary.get("events_checked", 0),
+                )
+            )
         lines = ["[runtime] " + " | ".join(parts)]
         if self.failures:
             failed = ", ".join(sorted(self.failures))
@@ -119,4 +129,5 @@ class RunReport:
             ],
             "failures": dict(self.failures),
             "trace": self.trace_summary,
+            "sanitizer": self.sanitizer_summary,
         }

@@ -214,6 +214,9 @@ class SchedulerResult:
         #: Buffered RunTrace set by ``run_scheduler(capture_trace=...)``;
         #: ``None`` unless the caller asked for a private capture.
         self.trace_run = None
+        #: Attestation counters from the virtual-time sanitizer; set by
+        #: ``run_scheduler`` when sanitizing was enabled for this run.
+        self.sanitizer_report: Optional[Dict[str, object]] = None
 
     def __len__(self) -> int:
         return len(self.records)

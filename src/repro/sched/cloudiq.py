@@ -40,7 +40,7 @@ class CloudIqScheduler(PartitionedScheduler):
     def __init__(
         self,
         config: CRanConfig,
-        timing_model: LinearTimingModel = None,
+        timing_model: Optional[LinearTimingModel] = None,
         trace: Optional[RunTrace] = None,
     ):
         super().__init__(config, trace=trace)

@@ -142,8 +142,8 @@ class RtOpexScheduler:
         for job in ordered_jobs:
             core = assigned_core_for(job, config.cores_per_bs)
             core_arrivals[core].append(job.arrival_us)
-        for arrivals in core_arrivals.values():
-            arrivals.sort()
+        for core in sorted(core_arrivals):
+            core_arrivals[core].sort()
 
         # Index of each core's next not-yet-dispatched arrival.  The
         # preemption horizon must come from this cursor, not from a

@@ -133,6 +133,7 @@ def run_scheduler(
     jobs: Sequence[SubframeJob],
     seed: int = 2016,
     capture_trace: object = False,
+    sanitize: Optional[bool] = None,
     **kwargs,
 ) -> SchedulerResult:
     """Run one scheduler over a prepared job list.
@@ -155,14 +156,25 @@ def run_scheduler(
     capture buffer is private: it works with no ambient tracer
     installed, and with one it *tees*, leaving the ambient run's
     filtering and streaming untouched.
+
+    ``sanitize`` tees a :class:`~repro.check.sanitizer.SanitizingTrace`
+    behind the run: every emitted event is validated online against the
+    virtual-time invariants and a :class:`~repro.check.SanitizerError`
+    is raised on the first violation.  ``None`` (the default) defers to
+    the ``RTOPEX_SANITIZE`` environment variable, which is how the test
+    suite turns every scheduler run into a sanitized one.
     """
+    from repro.check.sanitizer import SanitizingTrace, sanitize_enabled
     from repro.obs.events import resolve_kinds
     from repro.obs.trace import RunTrace, TeeRunTrace, get_tracer
     from repro.sched.cloudiq import CloudIqScheduler
     from repro.sched.pran import PranScheduler
 
+    if sanitize is None:
+        sanitize = sanitize_enabled()
     tracer = get_tracer()
     capture_run: Optional[RunTrace] = None
+    sanitizing_run: Optional[SanitizingTrace] = None
     if name in TRACEABLE_SCHEDULERS and "trace" not in kwargs:
         label = (
             f"{name} rtt={config.transport_latency_us:g}us "
@@ -180,12 +192,16 @@ def run_scheduler(
         if capture_trace:
             kinds = None if capture_trace is True else resolve_kinds(capture_trace)
             capture_run = RunTrace(label, scheduler=name, meta=meta, kinds=kinds)
-            if ambient_run is not None:
-                kwargs["trace"] = TeeRunTrace(ambient_run, capture_run)
-            else:
-                kwargs["trace"] = capture_run
-        elif ambient_run is not None:
-            kwargs["trace"] = ambient_run
+        if sanitize:
+            sanitizing_run = SanitizingTrace(label, scheduler=name, meta=meta)
+        targets = [
+            run for run in (ambient_run, capture_run, sanitizing_run)
+            if run is not None
+        ]
+        if len(targets) > 1:
+            kwargs["trace"] = TeeRunTrace(targets[0], *targets[1:])
+        elif targets:
+            kwargs["trace"] = targets[0]
 
     streams = RngStreams(seed)
     if name == "partitioned":
@@ -200,6 +216,10 @@ def run_scheduler(
         result = CloudIqScheduler(config, **kwargs).run(jobs)
     else:
         raise ValueError(f"unknown scheduler {name!r}")
+    if sanitizing_run is not None:
+        # End-of-run validation (dangling migration batches) + attestation.
+        sanitizing_run.finish()
+        result.sanitizer_report = sanitizing_run.report()
     if capture_run is not None:
         result.trace_run = capture_run
     return result

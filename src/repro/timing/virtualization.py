@@ -23,7 +23,7 @@ measurements.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.timing.model import LinearTimingModel, ModelCoefficients
 from repro.timing.platform import PlatformNoiseModel
@@ -41,7 +41,9 @@ class VirtualizationProfile:
         if self.time_multiplier < 1.0:
             raise ValueError("a platform cannot be faster than bare metal here")
 
-    def scaled_timing_model(self, base: LinearTimingModel = None) -> LinearTimingModel:
+    def scaled_timing_model(
+        self, base: Optional[LinearTimingModel] = None
+    ) -> LinearTimingModel:
         """The Eq. (1) model with every coefficient scaled."""
         base = base if base is not None else LinearTimingModel()
         c = base.coefficients

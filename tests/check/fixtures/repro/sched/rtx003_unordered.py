@@ -1,0 +1,12 @@
+"""Lint fixture: unordered iteration in a scheduling module (RTX003).
+
+Lives under a ``repro/sched`` directory pair so the path-scoped rule
+fires exactly as it would on a real scheduler module.
+"""
+
+
+def drain(queues):
+    total = 0
+    for queue in queues.values():
+        total += len(queue)
+    return total

@@ -1,0 +1,7 @@
+"""Lint fixture: wall-clock read outside repro.runtime (RTX001)."""
+
+import time
+
+
+def stamp():
+    return time.time()

@@ -1,0 +1,11 @@
+"""Lint fixture: global / unseeded RNG use (RTX002)."""
+
+import random
+
+import numpy as np
+
+
+def draw():
+    np.random.seed(0)
+    rng = np.random.default_rng()
+    return random.random() + rng.random()

@@ -1,0 +1,11 @@
+"""Lint fixture: int/float microsecond mixing (RTX004)."""
+
+TIMEOUT_US = 30
+
+
+def halve(dur_us: float) -> float:
+    return dur_us // 2
+
+
+def book(start_us: int) -> int:
+    return start_us

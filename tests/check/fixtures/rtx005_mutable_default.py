@@ -1,0 +1,6 @@
+"""Lint fixture: mutable default argument (RTX005)."""
+
+
+def collect(values=[]):
+    values.append(1)
+    return values

@@ -199,3 +199,71 @@ class TestTraceCacheInteraction:
         assert main(["fig4", "--no-cache", "--json", str(report_path)]) == 0
         report = json.loads(report_path.read_text())
         assert report["cache"]["disabled_reason"] is None
+
+
+class TestSanitize:
+    def test_sanitized_run_attests_in_summary(self, capsys):
+        assert main(["fig4", "--no-cache", "--sanitize"]) == 0
+        out = capsys.readouterr().out
+        assert "sanitizer OK" in out
+
+    def test_sanitizer_summary_in_json_report(self, tmp_path):
+        report_path = tmp_path / "report.json"
+        assert main(
+            ["fig16", "--scale", SCALE, "--no-cache", "--sanitize",
+             "--json", str(report_path)]
+        ) == 0
+        report = json.loads(report_path.read_text())
+        sanitizer = report["sanitizer"]
+        assert sanitizer["runs"] > 0
+        assert sanitizer["events_checked"] > 0
+
+    def test_sanitize_composes_with_trace(self, tmp_path):
+        path = tmp_path / "sanitized.jsonl"
+        report_path = tmp_path / "report.json"
+        assert main(
+            [
+                "fig16", "--scale", SCALE, "--no-cache", "--sanitize",
+                "--trace", str(path), "--trace-format", "jsonl",
+                "--json", str(report_path),
+            ]
+        ) == 0
+        report = json.loads(report_path.read_text())
+        # The sanitizer validated exactly the stream that was exported.
+        assert report["sanitizer"]["events_checked"] == report["trace"]["events"]
+        tracer = read_jsonl_trace(path)
+        assert len(tracer.runs) == report["sanitizer"]["runs"]
+
+    def test_sanitize_with_trace_kinds_is_a_usage_error(self, tmp_path, capsys):
+        code = main(
+            [
+                "fig4", "--no-cache", "--sanitize",
+                "--trace", str(tmp_path / "t.json"),
+                "--trace-kinds", "deadline",
+            ]
+        )
+        assert code == 2
+        assert "--sanitize is incompatible with --trace-kinds" in (
+            capsys.readouterr().err
+        )
+        assert not (tmp_path / "t.json").exists()  # rejected before opening
+
+    def test_sanitize_disables_the_cache_with_warning(self, capsys):
+        assert main(["fig4", "--sanitize"]) == 0
+        err = capsys.readouterr().err
+        assert "warning:" in err and "--sanitize disables the result cache" in err
+
+    def test_sanitize_parallel_matches_serial(self, tmp_path):
+        serial = tmp_path / "serial.json"
+        parallel = tmp_path / "parallel.json"
+        assert main(
+            ["fig16", "--scale", SCALE, "--no-cache", "--sanitize",
+             "--json", str(serial)]
+        ) == 0
+        assert main(
+            ["fig16", "--scale", SCALE, "--no-cache", "--sanitize",
+             "--jobs", "2", "--json", str(parallel)]
+        ) == 0
+        a = json.loads(serial.read_text())["sanitizer"]
+        b = json.loads(parallel.read_text())["sanitizer"]
+        assert a == b
