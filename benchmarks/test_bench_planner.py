@@ -1,0 +1,83 @@
+"""Benchmarks for the RT-OPEX planning hot path.
+
+Three altitudes, matching where the ``--scale 1.0`` profile spends its
+time:
+
+* **Algorithm 1 alone** (``plan_migration`` over a window table) — the
+  inner decision the scheduler takes at every parallelizable boundary;
+* **one full RT-OPEX run** over the shared bench workload — free-window
+  computation + planning + batch execution, the planner in situ;
+* **the partitioned baseline** over the same workload — the no-planner
+  control, so planner cost reads as the delta between the two groups.
+
+The asserts pin decision invariants (R1-R3 hold, runs produce the same
+record population) so a faster planner cannot silently change policy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sched import CRanConfig, PartitionedScheduler, RtOpexScheduler
+from repro.sched.migration import plan_migration
+
+#: A realistic window table: 7 helper cores, mixed budgets (us).
+WINDOWS = [
+    (0, 310.0), (1, 45.0), (2, 0.0), (3, 1210.0),
+    (5, 90.0), (6, 445.0), (7, 12.0),
+]
+#: Decode fan-out at high MCS: ~8 code blocks, WCET ~140 us each.
+NUM_SUBTASKS = 8
+SUBTASK_US = 140.0
+DELTA_US = 20.0
+#: Planner invocations per benchmark round (two boundaries per
+#: subframe; this is ~2000 subframes' worth of decisions).
+PLAN_ROUNDS = 4000
+
+
+@pytest.mark.benchmark(group="planner")
+def test_bench_plan_migration(benchmark):
+    def plan_many():
+        decision = None
+        for _ in range(PLAN_ROUNDS):
+            decision = plan_migration(NUM_SUBTASKS, SUBTASK_US, DELTA_US, WINDOWS)
+        return decision
+
+    decision = benchmark(plan_many)
+    assert decision is not None
+    assert decision.migrated_subtasks + decision.local_subtasks == NUM_SUBTASKS
+    # R3: no single core holds more than half the subtasks.
+    assert all(count <= NUM_SUBTASKS // 2 for _, count in decision.assignments)
+
+
+@pytest.mark.benchmark(group="planner")
+def test_bench_rtopex_run(benchmark, bench_config, bench_workload):
+    def run_opex():
+        scheduler = RtOpexScheduler(bench_config, rng=np.random.default_rng(1))
+        return scheduler.run(bench_workload)
+
+    result = benchmark.pedantic(run_opex, rounds=3, iterations=1, warmup_rounds=1)
+    assert len(result.records) == len(bench_workload)
+    assert sum(r.migrated_subtasks for r in result.records) > 0
+
+
+@pytest.mark.benchmark(group="planner")
+def test_bench_partitioned_control(benchmark, bench_config, bench_workload):
+    def run_partitioned():
+        return PartitionedScheduler(bench_config).run(bench_workload)
+
+    result = benchmark.pedantic(run_partitioned, rounds=3, iterations=1, warmup_rounds=1)
+    assert len(result.records) == len(bench_workload)
+    # RT-OPEX's dominance guard: it can never miss more than partitioned.
+    opex = RtOpexScheduler(bench_config, rng=np.random.default_rng(1)).run(bench_workload)
+    assert opex.miss_count() <= result.miss_count()
+
+
+@pytest.mark.benchmark(group="planner")
+def test_bench_workload_build(benchmark):
+    from repro.sched import build_workload
+
+    cfg = CRanConfig(transport_latency_us=500.0)
+    jobs = benchmark.pedantic(
+        lambda: build_workload(cfg, 500, seed=2016), rounds=3, iterations=1
+    )
+    assert len(jobs) == cfg.num_basestations * 500

@@ -5,9 +5,17 @@ Subcommands::
     python -m repro.check lint [PATH ...]   # default: src/repro
     python -m repro.check rules             # ruff-style rule table
     python -m repro.check rules --explain RTX003
+    python -m repro.check replay trace.jsonl
 
-Exit codes follow linter convention: 0 clean, 1 findings, 2 usage or
-I/O errors (unreadable path, syntax error in a linted file).
+``replay`` feeds a saved JSONL trace through the same
+:class:`~repro.check.sanitizer.SanitizingSink` the live ``--sanitize``
+path uses, so an archived trace can be re-validated offline — after a
+sanitizer change, or to triage a trace produced on another machine —
+without re-running the simulation that produced it.
+
+Exit codes follow linter convention: 0 clean, 1 findings (lint) or a
+sanitizer violation (replay), 2 usage or I/O errors (unreadable path,
+syntax error in a linted file, malformed trace line).
 """
 
 from __future__ import annotations
@@ -45,6 +53,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="print one rule's full rationale instead of the table",
     )
+
+    replay_parser = sub.add_parser(
+        "replay",
+        help="re-validate a saved JSONL trace through the virtual-time sanitizer",
+    )
+    replay_parser.add_argument("trace", help="JSONL trace file to validate")
+    replay_parser.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help="tolerate one truncated final line (writer killed mid-run)",
+    )
     return parser
 
 
@@ -67,6 +86,58 @@ def _run_lint(paths: Sequence[str]) -> int:
     return 0
 
 
+def _run_replay(trace: str, allow_partial: bool) -> int:
+    # Imported here so `repro.check lint` stays usable without the
+    # observability stack (and numpy) importable.
+    from repro.check.sanitizer import SanitizerError, SanitizingSink
+    from repro.obs.events import TraceEvent
+    from repro.obs.export import iter_jsonl_lines
+    from repro.obs.trace import RunTrace
+
+    trace_path = Path(trace)
+    if not trace_path.is_file():
+        print(f"repro.check: no such trace: {trace}", file=sys.stderr)
+        return 2
+    sink = SanitizingSink()
+    # Header carriers only — events are validated as they stream, never
+    # buffered, so replay memory is O(runs + cores) like the live path.
+    runs: List[RunTrace] = []
+    try:
+        for payload in iter_jsonl_lines(trace_path, allow_partial=allow_partial):
+            kind = payload.get("type")
+            if kind == "run":
+                run = RunTrace(
+                    str(payload["label"]),
+                    scheduler=str(payload.get("scheduler", "")),
+                    meta=dict(payload.get("meta", {})),
+                )
+                runs.append(run)
+                sink.begin_run(run)
+            elif kind == "event":
+                if not runs:
+                    raise ValueError("event line before any run header")
+                index = int(payload.get("run", len(runs) - 1))
+                if not 0 <= index < len(runs):
+                    raise ValueError(f"event references unknown run {index}")
+                sink.event(runs[index], TraceEvent.from_dict(payload))
+            else:
+                raise ValueError(f"unknown line type {payload.get('type')!r}")
+        sink.close()
+    except SanitizerError as exc:
+        print(f"repro.check: {exc}", file=sys.stderr)
+        return 1
+    except (KeyError, TypeError, ValueError) as exc:
+        print(f"repro.check: {trace}: malformed trace: {exc}", file=sys.stderr)
+        return 2
+    summary = sink.summary()
+    print(
+        f"replay ok: {summary['runs']} run(s), "
+        f"{summary['events_checked']} event(s) checked, "
+        f"{summary['batches_closed']} migration batch(es) closed"
+    )
+    return 0
+
+
 def _run_rules(explain_id: Optional[str]) -> int:
     if explain_id is None:
         print(rule_table())
@@ -83,6 +154,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "lint":
         return _run_lint(args.paths)
+    if args.command == "replay":
+        return _run_replay(args.trace, args.allow_partial)
     return _run_rules(args.explain)
 
 

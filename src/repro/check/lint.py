@@ -24,6 +24,8 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.check.rules import (
+    ENV_READ,
+    ENV_READ_ALLOWED_PARTS,
     MUTABLE_DEFAULT,
     ORDERED_MODULE_PARTS,
     UNORDERED_ITERATION,
@@ -150,6 +152,7 @@ class _Visitor(ast.NodeVisitor):
         self.findings: List[Finding] = []
         self.wallclock_allowed = path_matches(self.module_parts, WALLCLOCK_ALLOWED_PARTS)
         self.ordered_module = path_matches(self.module_parts, ORDERED_MODULE_PARTS)
+        self.env_allowed = path_matches(self.module_parts, ENV_READ_ALLOWED_PARTS)
 
     # -- helpers -------------------------------------------------------------
 
@@ -194,6 +197,7 @@ class _Visitor(ast.NodeVisitor):
         if name is not None:
             self._check_wallclock(node, name)
             self._check_numpy_rng(node, name)
+            self._check_env_call(node, name)
         self.generic_visit(node)
 
     def _check_wallclock(self, node: ast.Call, name: str) -> None:
@@ -244,6 +248,47 @@ class _Visitor(ast.NodeVisitor):
                     "bare numpy.random.default_rng reference escapes as an "
                     "unseeded factory; wrap it with an explicit seed",
                 )
+        # A bare `os.environ` reference (dict(os.environ), `in` tests,
+        # aliasing) reads host state just as a .get() does.  Skip the
+        # inner node of `os.environ.get(...)` / `os.environ[...]` — the
+        # enclosing call/subscript site flags itself.
+        if (
+            node.attr == "environ"
+            and not self.env_allowed
+            and not isinstance(
+                getattr(node, "_parent_expr", None), (ast.Attribute, ast.Subscript)
+            )
+            and self.aliases.resolve(node) == "os.environ"
+        ):
+            self._flag(
+                node, ENV_READ,
+                "os.environ reference outside repro.runtime/repro.check; "
+                "take configuration as explicit arguments",
+            )
+        self.generic_visit(node)
+
+    # -- environment reads (RTX006) ------------------------------------------
+
+    def _check_env_call(self, node: ast.Call, name: str) -> None:
+        if self.env_allowed:
+            return
+        if name == "os.getenv" or name.startswith("os.environ."):
+            self._flag(
+                node, ENV_READ,
+                f"environment read {name}() outside repro.runtime/"
+                "repro.check; take configuration as explicit arguments",
+            )
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if (
+            not self.env_allowed
+            and self.aliases.resolve(node.value) == "os.environ"
+        ):
+            self._flag(
+                node, ENV_READ,
+                "os.environ[...] read outside repro.runtime/repro.check; "
+                "take configuration as explicit arguments",
+            )
         self.generic_visit(node)
 
     # -- iteration order (RTX003) --------------------------------------------
@@ -407,6 +452,10 @@ def _mark_call_parents(tree: ast.AST) -> None:
     for node in ast.walk(tree):
         if isinstance(node, ast.Call):
             node.func._parent_call = node  # type: ignore[attr-defined]
+        if isinstance(node, (ast.Attribute, ast.Subscript)):
+            # The value under an attribute/subscript access is flagged at
+            # the access site, not as a bare reference.
+            node.value._parent_expr = node  # type: ignore[attr-defined]
 
 
 def _apply_waivers(findings: List[Finding], source: str) -> List[Finding]:

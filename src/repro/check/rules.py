@@ -108,6 +108,22 @@ MUTABLE_DEFAULT = Rule(
     ),
 )
 
+ENV_READ = Rule(
+    rule_id="RTX006",
+    name="env-read",
+    summary=(
+        "os.environ / os.getenv read outside repro.runtime and repro.check"
+    ),
+    rationale=(
+        "Environment variables are per-machine, per-shell state: a model "
+        "or scheduler that consults one produces results the seed cannot "
+        "reproduce on another host.  Only the repro.runtime configuration "
+        "layer (cache locations) and repro.check's own sanitizer — which "
+        "exists to inspect the environment — may read it; everything else "
+        "takes configuration as explicit arguments."
+    ),
+)
+
 #: Every rule, in id order — the table ``repro.check rules`` renders.
 RULES: Tuple[Rule, ...] = (
     WALLCLOCK,
@@ -115,6 +131,7 @@ RULES: Tuple[Rule, ...] = (
     UNORDERED_ITERATION,
     US_UNIT_MIXING,
     MUTABLE_DEFAULT,
+    ENV_READ,
 )
 
 RULES_BY_ID = {rule.rule_id: rule for rule in RULES}
@@ -130,6 +147,13 @@ WALLCLOCK_ALLOWED_PARTS: Tuple[Tuple[str, str], ...] = (("repro", "runtime"),)
 ORDERED_MODULE_PARTS: Tuple[Tuple[str, str], ...] = (
     ("repro", "sched"),
     ("repro", "sim"),
+)
+
+#: Modules that may read the process environment: runtime configuration
+#: (cache dirs) and the sanitizer that audits the environment itself.
+ENV_READ_ALLOWED_PARTS: Tuple[Tuple[str, str], ...] = (
+    ("repro", "runtime"),
+    ("repro", "check"),
 )
 
 

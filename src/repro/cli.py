@@ -34,6 +34,13 @@ named kinds.  Tracing forces the result cache off (with a warning): a
 cache-served unit executes no scheduler and would leave holes in the
 timeline.
 
+``--profile`` wraps the run in cProfile and embeds the top-20
+cumulative hotspots into the ``--json`` telemetry report — the quick
+answer to "where did that run spend its time" without a separate
+profiling harness.  It requires ``--jobs 1``: work executed in worker
+processes never reaches the in-process profiler, and a silently
+coordinator-only hotspot table would mislead.
+
 ``--sanitize`` runs the virtual-time sanitizer over every scheduler
 run's event stream (see :mod:`repro.check.sanitizer`): core-track
 overlap, time monotonicity, migration-batch conservation, span nesting,
@@ -130,6 +137,15 @@ def build_parser() -> argparse.ArgumentParser:
             "disables the cache"
         ),
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "profile the run with cProfile and put the top-20 cumulative "
+            "hotspots in the --json report (requires --jobs 1: worker "
+            "processes are invisible to an in-process profiler)"
+        ),
+    )
     return parser
 
 
@@ -176,6 +192,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.scale <= 0:
         print("error: --scale must be positive", file=sys.stderr)
         return 2
+    if args.profile and args.jobs != 1:
+        print(
+            "error: --profile requires --jobs 1 (work executed in worker "
+            "processes never reaches the in-process profiler, so the "
+            "hotspot table would silently cover only the coordinator)",
+            file=sys.stderr,
+        )
+        return 2
 
     trace_kinds = None
     if args.trace_kinds is not None:
@@ -212,6 +236,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         cache = ResultCache(cache_dir)
 
     runner = ExperimentRunner(jobs=args.jobs, cache=cache)
+
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+
+    def run_units():
+        if profiler is not None:
+            return profiler.runcall(
+                runner.run, ids, scale=args.scale, seed=args.seed,
+                on_result=_print_result,
+            )
+        return runner.run(
+            ids, scale=args.scale, seed=args.seed, on_result=_print_result
+        )
+
     if observing:
         from repro.check import SanitizerError, SanitizingSink
         from repro.obs import Tracer, open_sink, tracing
@@ -224,9 +265,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         tracer = Tracer(kinds=trace_kinds, sink=sink)
         try:
             with tracing(tracer):
-                results, report = runner.run(
-                    ids, scale=args.scale, seed=args.seed, on_result=_print_result
-                )
+                results, report = run_units()
             sink.close()
         except SanitizerError as exc:
             sys.stderr.write(f"error: {exc}\n")
@@ -249,9 +288,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             report.sanitizer_summary = sanitizing_sink.summary()
         report.cache_disabled_reason = cache_disabled_reason
     else:
-        results, report = runner.run(
-            ids, scale=args.scale, seed=args.seed, on_result=_print_result
-        )
+        results, report = run_units()
+
+    if profiler is not None:
+        from repro.runtime.telemetry import profile_summary
+
+        report.profile = profile_summary(profiler)
 
     print(report.summary_text())
     if args.json_path:

@@ -9,6 +9,7 @@ time at the compute node (subframe boundary + transport latency).
 
 from __future__ import annotations
 
+from functools import cached_property
 from dataclasses import dataclass, field
 
 from repro.constants import RX_BUDGET_US, SUBFRAME_US
@@ -86,17 +87,17 @@ class Subframe:
     transport_latency_us: float = 0.0
     grid: GridConfig = field(default_factory=GridConfig)
 
-    @property
+    @cached_property
     def air_time_us(self) -> float:
         """Time the subframe is fully received at the radio (end of SF)."""
         return self.index * SUBFRAME_US
 
-    @property
+    @cached_property
     def arrival_us(self) -> float:
         """Time the subframe becomes available at the compute node."""
         return self.air_time_us + self.transport_latency_us
 
-    @property
+    @cached_property
     def deadline_us(self) -> float:
         """Absolute processing deadline.
 

@@ -8,8 +8,42 @@ dashboards and regression tracking.
 
 from __future__ import annotations
 
+import pstats
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
+
+#: Hotspot rows exported into the ``--json`` report under ``profile``.
+PROFILE_TOP_N = 20
+
+
+def profile_summary(profiler, limit: int = PROFILE_TOP_N) -> Dict[str, object]:
+    """Condense a ``cProfile.Profile`` into the report's ``profile`` dict.
+
+    The top ``limit`` functions by *cumulative* time — the view that
+    surfaces the hot call chains (engine drain loop, planner windows)
+    rather than leaf noise.  Rows are JSON-native so the dict drops
+    straight into :meth:`RunReport.to_json_dict`.
+    """
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    rows: List[Dict[str, object]] = []
+    for func in (stats.fcn_list or [])[:limit]:
+        cc, nc, tt, ct, _callers = stats.stats[func]  # type: ignore[attr-defined]
+        filename, lineno, name = func
+        rows.append(
+            {
+                "function": f"{filename}:{lineno}({name})",
+                "calls": nc,
+                "primitive_calls": cc,
+                "tottime_s": round(tt, 6),
+                "cumtime_s": round(ct, 6),
+            }
+        )
+    return {
+        "total_time_s": round(stats.total_tt, 6),  # type: ignore[attr-defined]
+        "total_calls": stats.total_calls,  # type: ignore[attr-defined]
+        "top": rows,
+    }
 
 
 @dataclass
@@ -48,6 +82,9 @@ class RunReport:
     #: Virtual-time sanitizer attestation (runs/events validated) when
     #: ``--sanitize`` was active; ``None`` for unsanitized runs.
     sanitizer_summary: Optional[Dict[str, object]] = None
+    #: cProfile hotspot roll-up (see :func:`profile_summary`) when
+    #: ``--profile`` was active; ``None`` for unprofiled runs.
+    profile: Optional[Dict[str, object]] = None
 
     @property
     def experiment_ids(self) -> List[str]:
@@ -96,6 +133,13 @@ class RunReport:
                     events=self.sanitizer_summary.get("events_checked", 0),
                 )
             )
+        if self.profile is not None:
+            parts.append(
+                "profiled {total_s}s / {calls} calls".format(
+                    total_s=self.profile.get("total_time_s", 0),
+                    calls=self.profile.get("total_calls", 0),
+                )
+            )
         lines = ["[runtime] " + " | ".join(parts)]
         if self.failures:
             failed = ", ".join(sorted(self.failures))
@@ -130,4 +174,5 @@ class RunReport:
             "failures": dict(self.failures),
             "trace": self.trace_summary,
             "sanitizer": self.sanitizer_summary,
+            "profile": self.profile,
         }

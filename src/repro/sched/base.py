@@ -11,6 +11,7 @@ paper's trace-replay methodology.
 from __future__ import annotations
 
 import math
+from functools import cached_property
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -98,19 +99,19 @@ class SubframeJob:
     arrival_override_us: Optional[float] = None
     deadline_override_us: Optional[float] = None
 
-    @property
+    @cached_property
     def arrival_us(self) -> float:
         if self.arrival_override_us is not None:
             return self.arrival_override_us
         return self.subframe.arrival_us
 
-    @property
+    @cached_property
     def deadline_us(self) -> float:
         if self.deadline_override_us is not None:
             return self.deadline_override_us
         return self.subframe.deadline_us
 
-    @property
+    @cached_property
     def serial_time_us(self) -> float:
         """Single-core execution time including platform noise."""
         return self.work.total_serial_us + self.noise_us

@@ -25,28 +25,52 @@ migrated batch has (in the ideal case) finished too.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from operator import itemgetter
+from typing import List, NamedTuple, Sequence, Tuple
+
+_CORE = itemgetter(0)
+_FREE = itemgetter(1)
 
 
 def _ordered_windows(
     free_times_us: Sequence[Tuple[int, float]]
-) -> List[Tuple[int, float]]:
+) -> Sequence[Tuple[int, float]]:
     """Canonical consideration order: biggest window first, core id as a
     deterministic tie-break.  Sorting *inside* the planners means caller
     ordering can never change a :class:`MigrationDecision` — previously
     this was only a documented convention, and an unsorted caller would
-    silently fill small windows before large ones."""
-    return sorted(free_times_us, key=lambda item: (-item[1], item[0]))
+    silently fill small windows before large ones.
+
+    The scheduler's ``free_windows`` already emits this exact order, so
+    an O(n) already-sorted scan first avoids re-sorting on the hot path
+    (and returns the input without copying — the planners only iterate).
+    Arbitrary-order callers get two stable passes with C ``itemgetter``
+    keys: core ascending, then free descending — stability makes the
+    second pass keep core order within equal windows, matching the
+    ``(-free, core)`` keyed sort this replaces without building the
+    decorated/undecorated intermediate lists."""
+    prev_core = 0
+    prev_free = math.inf
+    for core, free in free_times_us:
+        if free > prev_free or (free == prev_free and core < prev_core):
+            ordered = sorted(free_times_us, key=_CORE)
+            ordered.sort(key=_FREE, reverse=True)
+            return ordered
+        prev_core = core
+        prev_free = free
+    return free_times_us
 
 
-@dataclass(frozen=True)
-class MigrationDecision:
+class MigrationDecision(NamedTuple):
     """Output of Algorithm 1.
 
     ``assignments`` pairs each considered core (by caller-provided id)
     with the number of subtasks placed on it; cores given zero subtasks
     are omitted.  ``local_subtasks`` is what the owning thread keeps.
+
+    A ``NamedTuple`` rather than a dataclass: it is constructed at every
+    planning decision, and tuple construction is a single C call where a
+    frozen dataclass pays ``object.__setattr__`` per field.
     """
 
     assignments: Tuple[Tuple[int, int], ...]
@@ -105,14 +129,25 @@ def plan_migration(
     for core_id, free_time in _ordered_windows(free_times_us):
         if remaining <= 1:
             break
-        if free_time <= 0:
-            continue
-        limoff = math.floor(free_time / per_subtask_cost)  # R1
-        noff = min(remaining - max_offloaded, limoff, remaining // 2)  # R2, R3
+        if free_time < per_subtask_cost:
+            # Windows are sorted descending: if this one cannot hold a
+            # single subtask (R1 gives zero), none of the rest can.
+            break
+        limoff = int(free_time / per_subtask_cost)  # R1 (floor; operands > 0)
+        # noff = min(remaining - max_offloaded, limoff, remaining // 2),
+        # spelled out: R2 keeps the local share at least the largest
+        # placed batch, R3 caps any one core at half the remainder.
+        noff = remaining - max_offloaded
+        if limoff < noff:
+            noff = limoff
+        half = remaining // 2
+        if half < noff:
+            noff = half
         if noff <= 0:
             continue
         assignments.append((core_id, noff))
-        max_offloaded = max(noff, max_offloaded)
+        if noff > max_offloaded:
+            max_offloaded = noff
         remaining -= noff
 
     return MigrationDecision(assignments=tuple(assignments), local_subtasks=remaining)
@@ -144,9 +179,9 @@ def plan_steal_half(
     for core_id, free_time in _ordered_windows(free_times_us):
         if remaining <= 1:
             break
-        if free_time <= 0:
-            continue
-        limoff = math.floor(free_time / per_subtask_cost)
+        if free_time < per_subtask_cost:
+            break  # sorted descending: no later window fits a subtask
+        limoff = int(free_time / per_subtask_cost)
         noff = min(limoff, remaining // 2)
         if noff <= 0:
             continue
@@ -180,9 +215,9 @@ def plan_migrate_all(
     for core_id, free_time in _ordered_windows(free_times_us):
         if remaining <= 1:
             break
-        if free_time <= 0:
-            continue
-        noff = min(math.floor(free_time / per_subtask_cost), remaining - 1)
+        if free_time < per_subtask_cost:
+            break  # sorted descending: no later window fits a subtask
+        noff = min(int(free_time / per_subtask_cost), remaining - 1)
         if noff <= 0:
             continue
         assignments.append((core_id, noff))

@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.constants import SUBFRAME_US
 from repro.obs.trace import RunTrace
 from repro.sched.base import (
     CRanConfig,
@@ -53,17 +54,6 @@ from repro.timing.platform import PlatformNoiseModel
 DEFAULT_BATCH_OVERHEAD_US = 20.0
 #: Incremental cost per additional migrated subtask in the same batch.
 DEFAULT_SUBTASK_OVERHEAD_US = 0.5
-
-
-@dataclass
-class _CoreState:
-    """Mutable per-core bookkeeping."""
-
-    busy_until: float = 0.0  # own (local) processing
-    remote_cursor: float = 0.0  # end of last booked migrated batch
-
-    def idle_at(self, now: float) -> bool:
-        return self.busy_until <= now + 1e-9 and self.remote_cursor <= now + 1e-9
 
 
 @dataclass(frozen=True)
@@ -119,7 +109,11 @@ class RtOpexScheduler:
     def run(self, jobs: Sequence[SubframeJob]) -> SchedulerResult:
         config = self.config
         num_cores = config.num_basestations * config.cores_per_bs
-        cores = [_CoreState() for _ in range(num_cores)]
+        # Per-core bookkeeping as parallel float lists: the planner scans
+        # every core at every parallelizable boundary, so attribute
+        # access on per-core objects is measurable overhead there.
+        busy_until = [0.0] * num_cores  # own (local) processing
+        remote_cursor = [0.0] * num_cores  # end of last booked migrated batch
         records: List[SubframeRecord] = []
         busy: Dict[int, float] = {}
         trace = self.trace
@@ -154,27 +148,37 @@ class RtOpexScheduler:
         # processing.  A pending arrival bars the core no matter how its
         # timestamp compares to the window start.
         arrival_cursor = [0] * num_cores
+        #: Next pending arrival per core (``inf`` once the trace is
+        #: exhausted) — write-through so planning never searches.
+        core_arrival = [
+            core_arrivals[c][0] if core_arrivals[c] else math.inf
+            for c in range(num_cores)
+        ]
 
-        def next_pending_arrival(core: int) -> float:
-            arrivals = core_arrivals[core]
-            idx = arrival_cursor[core]
-            return arrivals[idx] if idx < len(arrivals) else math.inf
-
-        def planned_activation(core: int, after: float) -> float:
-            # "The underlying scheduler should be able to inform when
-            # each idle core will be preempted" (sec. 3.2): arrivals are
-            # deterministic under the partitioned schedule (including
-            # any co-scheduled Tx jobs), so planning consults the
-            # arrival table; the closed-form rule covers the span past
-            # the end of the trace.
-            pending = next_pending_arrival(core)
-            if pending is not math.inf:
-                return pending
-            slot = core % config.cores_per_bs
-            bs = core // config.cores_per_bs
-            return next_partitioned_activation(
-                bs, slot, after, config.cores_per_bs, config.transport_latency_us
-            )
+        # Donor-window memoization: a core's free window can only change
+        # on one of three mutations — its own arrival (cursor bump), a
+        # local completion (``busy_until`` write), or a booked migrated
+        # batch (``remote_cursor`` write).  Every mutation site bumps
+        # that core's epoch; ``free_windows`` recomputes a core's window
+        # floor only when its epoch moved since the floor was cached.
+        # Invariant: ``core_epoch[c]`` strictly increases on every write
+        # to ``busy_until[c]``, ``remote_cursor[c]`` or
+        # ``arrival_cursor[c]``; a stale epoch therefore proves
+        # ``window_start[c]`` still equals
+        # ``max(busy_until[c], remote_cursor[c])``.
+        core_epoch = [0] * num_cores
+        window_epoch = [-1] * num_cores
+        window_start = [0.0] * num_cores
+        # Past the arrival trace the preemption horizon comes from the
+        # closed-form partitioned rule; the last value is cached per
+        # core and revalidated against the activation period instead of
+        # recomputed (the rule yields the smallest activation > start,
+        # so a cached value is still correct iff start lies within one
+        # period below it).
+        closed_act = [0.0] * num_cores
+        cores_per_bs = config.cores_per_bs
+        transport = config.transport_latency_us
+        activation_period = cores_per_bs * SUBFRAME_US
 
         # -------------------------------------------------------- helpers
 
@@ -200,8 +204,35 @@ class RtOpexScheduler:
                 # known completion time is a valid target, its window
                 # simply starts when it goes idle (and behind any batch
                 # already queued on it).
-                start = max(now, cores[c].busy_until, cores[c].remote_cursor)
-                horizon = min(planned_activation(c, start), deadline)
+                if window_epoch[c] != core_epoch[c]:
+                    window_epoch[c] = core_epoch[c]
+                    b = busy_until[c]
+                    r = remote_cursor[c]
+                    window_start[c] = b if b >= r else r
+                start = window_start[c]
+                if start < now:
+                    start = now
+                # "The underlying scheduler should be able to inform
+                # when each idle core will be preempted" (sec. 3.2):
+                # arrivals are deterministic under the partitioned
+                # schedule, so planning consults the arrival table; the
+                # closed-form rule covers the span past the trace end.
+                activation = core_arrival[c]
+                if activation == math.inf:
+                    # Valid iff ``start`` sits within one period below
+                    # the cached activation (``activation - period`` is
+                    # exact: activations and the period are integral).
+                    activation = closed_act[c]
+                    if not (
+                        activation > start
+                        and activation - activation_period <= start
+                    ):
+                        activation = next_partitioned_activation(
+                            c // cores_per_bs, c % cores_per_bs,
+                            start, cores_per_bs, transport,
+                        )
+                        closed_act[c] = activation
+                horizon = activation if activation < deadline else deadline
                 fck = horizon - start
                 if fck > 0:
                     windows.append((c, fck))
@@ -232,7 +263,7 @@ class RtOpexScheduler:
             arrival is preempted.  Either way the owner recomputes
             whatever is not ready (the recovery state, sec. 3.2.1 B).
             """
-            preempt_at = next_pending_arrival(target)
+            preempt_at = core_arrival[target]
             # The owner polls the flag until the batch's planned end plus
             # a small patience margin for nominal kernel jitter; it will
             # not stall behind a helper hit by a long preemption.
@@ -248,7 +279,9 @@ class RtOpexScheduler:
                 subtask_ends.append(cursor)
             # The helper burns cycles until it finishes or is preempted.
             booked_until = min(max(cursor, start), preempt_at)
-            cores[target].remote_cursor = max(cores[target].remote_cursor, booked_until)
+            if booked_until > remote_cursor[target]:
+                remote_cursor[target] = booked_until
+                core_epoch[target] += 1
             note_busy(target, start, booked_until)
 
             # Results are usable up to the first not-ready subtask;
@@ -302,7 +335,7 @@ class RtOpexScheduler:
         ) -> float:
             """Execute one parallelizable task with migration; returns end time."""
             task = job.work.task(task_name)
-            subtasks = list(task.subtasks)
+            subtasks = task.subtasks
             serial_total = task.serial_duration_us
             if not subtasks or not enabled:
                 return now + serial_total
@@ -343,9 +376,9 @@ class RtOpexScheduler:
             # list stays local, the tail ships out.
             shipped = sum(count for _, count, _, _ in assignments)
             local_count = len(subtasks) - shipped
-            local_ids = list(range(local_count))
-            remote_ids = list(range(local_count, len(subtasks)))
-            local_end = now + task.serial_us + sum(subtasks[i].duration_us for i in local_ids)
+            local_end = now + task.serial_us + sum(
+                s.duration_us for s in subtasks[:local_count]
+            )
             batch_ids = [next(batch_counter) for _ in assignments]
             if trace is not None:
                 trace.migration_planned(
@@ -360,9 +393,11 @@ class RtOpexScheduler:
             for batch_id, (target, num, batch_start, planned) in zip(
                 batch_ids, assignments
             ):
-                ids = remote_ids[cursor : cursor + num]
+                # Positional split: remote subtasks are the tail, taken
+                # contiguously in decision order.
+                first = local_count + cursor
                 cursor += num
-                durations = [subtasks[i].duration_us for i in ids]
+                durations = [s.duration_us for s in subtasks[first : first + num]]
                 outcome = execute_batch(
                     target, batch_start, durations, planned, local_end,
                     task_name=task_name, owner=me,
@@ -437,9 +472,10 @@ class RtOpexScheduler:
                 # migration" (sec. 4.1): a slack-check drop frees the
                 # core early but the framework keeps it out of the
                 # helper pool until its next activation.
-                cores[me].busy_until = activation
+                busy_until[me] = activation
             else:
-                cores[me].busy_until = finish
+                busy_until[me] = finish
+            core_epoch[me] += 1
             if trace is not None:
                 trace.deadline(
                     finish, me, record.missed or record.dropped,
@@ -455,7 +491,9 @@ class RtOpexScheduler:
             me = assigned_core_for(job, config.cores_per_bs)
             # This arrival is being dispatched: the next preemption
             # barrier on this core is the one after it.
-            arrival_cursor[me] += 1
+            idx = arrival_cursor[me] = arrival_cursor[me] + 1
+            arrivals = core_arrivals[me]
+            core_arrival[me] = arrivals[idx] if idx < len(arrivals) else math.inf
             record = SubframeRecord(
                 bs_id=sf.bs_id,
                 index=sf.index,
@@ -468,14 +506,15 @@ class RtOpexScheduler:
                 crc_pass=job.work.crc_pass,
             )
             records.append(record)
-            now = max(job.arrival_us, cores[me].busy_until)
+            now = max(job.arrival_us, busy_until[me])
             record.queue_delay_us = now - job.arrival_us
             record.start_us = now
             if trace is not None:
                 trace.arrival(job.arrival_us, me, sf.bs_id, sf.index)
             # The arrival preempts any migrated batch on this core.
-            cores[me].remote_cursor = min(cores[me].remote_cursor, now)
-            cores[me].busy_until = job.deadline_us  # refined when finish is known
+            remote_cursor[me] = min(remote_cursor[me], now)
+            busy_until[me] = job.deadline_us  # refined when finish is known
+            core_epoch[me] += 1
 
             # Serial-only jobs (downlink Tx encodes) have no
             # parallelizable stages: run to completion on this core.
@@ -505,7 +544,9 @@ class RtOpexScheduler:
                 record.missed = True
                 finalize(job, record, job.deadline_us, me)
                 return
-            cores[me].busy_until = max(cores[me].busy_until, demod_end)
+            if demod_end > busy_until[me]:
+                busy_until[me] = demod_end
+                core_epoch[me] += 1
             sim.schedule(demod_end, lambda: start_decode(job, record, demod_end, me), priority=1)
 
         for job in ordered_jobs:

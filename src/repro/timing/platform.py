@@ -56,7 +56,20 @@ class PlatformNoiseModel:
         return noise
 
     def draw_one(self, rng: np.random.Generator) -> float:
-        return float(self.draw(rng, 1)[0])
+        """One sample, on the scalar fast path.
+
+        Bit-identical to ``draw(rng, 1)[0]`` including the generator
+        state afterwards: numpy's scalar draws consume the same stream
+        as size-1 arrays, and a size-0 ``uniform`` consumes nothing —
+        so the untaken spike/tail branches can simply be skipped.
+        """
+        noise = rng.gamma(self.base_shape, self.base_mean_us / self.base_shape)
+        u = rng.random()
+        if u < self.spike_probability:
+            noise += rng.uniform(self.spike_low_us, self.spike_high_us)
+        if u > 1.0 - self.tail_probability:
+            noise += rng.uniform(self.tail_low_us, self.tail_high_us)
+        return float(noise)
 
     def quantile(self, q: float, rng: np.random.Generator, samples: int = 200000) -> float:
         """Monte-Carlo quantile, used by tests to check order statistics."""

@@ -17,6 +17,7 @@ recovery path.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Sequence
 
 from repro.lte.subframe import UplinkGrant
@@ -51,9 +52,14 @@ class TaskSpec:
     subtasks: tuple = ()
     parallelizable: bool = False
 
-    @property
+    @cached_property
     def serial_duration_us(self) -> float:
-        """Time to execute the whole task on a single core."""
+        """Time to execute the whole task on a single core.
+
+        Cached: the schedulers read this at every stage boundary and
+        the specs are immutable (``cached_property`` writes straight to
+        ``__dict__``, which a frozen dataclass permits).
+        """
         return self.serial_us + sum(s.duration_us for s in self.subtasks)
 
     @property
@@ -69,7 +75,7 @@ class SubframeWork:
     iterations: tuple  # per-code-block turbo iterations actually needed
     crc_pass: bool
 
-    @property
+    @cached_property
     def total_serial_us(self) -> float:
         """Single-core processing time — Eq. (1) without the error term."""
         return sum(t.serial_duration_us for t in self.tasks)

@@ -1,0 +1,20 @@
+"""Lint fixture: environment read outside repro.runtime/repro.check (RTX006)."""
+
+import os
+from os import getenv
+
+
+def cache_dir():
+    return os.environ.get("REPRO_CACHE_DIR", "/tmp/repro")
+
+
+def debug_level():
+    return os.environ["REPRO_DEBUG"]
+
+
+def verbosity():
+    return getenv("REPRO_VERBOSE", "0")
+
+
+def snapshot():
+    return dict(os.environ)

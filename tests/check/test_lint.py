@@ -20,6 +20,7 @@ FIXTURE_RULES = {
     FIXTURES / "repro" / "sched" / "rtx003_unordered.py": "RTX003",
     FIXTURES / "rtx004_us_mixing.py": "RTX004",
     FIXTURES / "rtx005_mutable_default.py": "RTX005",
+    FIXTURES / "rtx006_env_read.py": "RTX006",
 }
 
 
@@ -151,6 +152,48 @@ class TestMutableDefaultRule:
 
     def test_tuple_default_clean(self):
         assert lint_source("def f(xs=()):\n    return xs\n") == []
+
+
+class TestEnvReadRule:
+    def test_environ_get_flagged(self):
+        src = "import os\n\nd = os.environ.get('REPRO_CACHE_DIR')\n"
+        assert rule_ids(lint_source(src)) == ["RTX006"]
+
+    def test_environ_subscript_flagged(self):
+        src = "import os\n\nd = os.environ['REPRO_DEBUG']\n"
+        assert rule_ids(lint_source(src)) == ["RTX006"]
+
+    def test_getenv_flagged_through_alias(self):
+        src = "from os import getenv as ge\n\nd = ge('REPRO_VERBOSE')\n"
+        assert rule_ids(lint_source(src)) == ["RTX006"]
+
+    def test_bare_environ_reference_flagged(self):
+        src = "import os\n\nsnapshot = dict(os.environ)\n"
+        assert rule_ids(lint_source(src)) == ["RTX006"]
+
+    def test_imported_environ_subscript_flagged(self):
+        src = "from os import environ\n\nd = environ['REPRO_DEBUG']\n"
+        assert rule_ids(lint_source(src)) == ["RTX006"]
+
+    def test_runtime_layer_allowlisted(self):
+        src = "import os\n\nd = os.environ.get('REPRO_CACHE_DIR')\n"
+        findings = lint_source(
+            src, path="src/repro/runtime/cache.py",
+            module_parts=("src", "repro", "runtime", "cache.py"),
+        )
+        assert findings == []
+
+    def test_check_layer_allowlisted(self):
+        src = "import os\n\nenv = dict(os.environ)\n"
+        findings = lint_source(
+            src, path="src/repro/check/sanitizer.py",
+            module_parts=("src", "repro", "check", "sanitizer.py"),
+        )
+        assert findings == []
+
+    def test_unrelated_environ_attribute_clean(self):
+        src = "def f(cfg):\n    return cfg.environ\n"
+        assert lint_source(src) == []
 
 
 class TestWaivers:

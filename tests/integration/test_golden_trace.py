@@ -1,0 +1,128 @@
+"""Golden-trace identity: the perf work must not move a single byte.
+
+The engine batching and planner memoization are pure optimizations —
+the acceptance bar is that every scheduler's observable output is
+*byte-identical* to the pre-optimization tree.  This test pins that:
+all five ``table2`` schedulers run at scale 0.2 over the paper workload
+with full JSONL tracing, and both the streamed trace and the
+``SubframeRecord`` CSV are hashed against goldens captured before the
+optimization landed.
+
+Regenerate (only for a change that is *supposed* to alter results)::
+
+    PYTHONPATH=src python tests/integration/test_golden_trace.py
+
+which rewrites ``golden_table2_scale02.json`` from the current tree.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.results_io import save_result_csv
+from repro.experiments.base import scaled_subframes
+from repro.obs import Tracer, tracing
+from repro.obs.export import JsonlTraceSink
+from repro.sched import CRanConfig, build_workload
+from repro.sched.runner import run_scheduler
+
+GOLDEN_PATH = Path(__file__).parent / "golden_table2_scale02.json"
+SCALE = 0.2
+SEED = 2016
+SCHEDULERS = ("pran", "cloudiq", "partitioned", "global", "rt-opex")
+
+
+def _sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _build_workload():
+    cfg = CRanConfig(transport_latency_us=500.0)
+    return cfg, build_workload(cfg, scaled_subframes(SCALE), seed=SEED)
+
+
+def _run_fingerprint(name: str, cfg, jobs, out_dir: Path) -> dict:
+    """Run one scheduler fully traced; fingerprint the JSONL + CSV."""
+    run_cfg = cfg if name != "global" else CRanConfig(
+        transport_latency_us=500.0, num_cores=8
+    )
+    jsonl_path = out_dir / f"{name.replace('-', '')}.jsonl"
+    csv_path = out_dir / f"{name.replace('-', '')}.csv"
+    sink = JsonlTraceSink(jsonl_path)
+    tracer = Tracer(sink=sink)
+    with tracing(tracer):
+        result = run_scheduler(name, run_cfg, jobs, seed=SEED)
+    sink.close()
+    save_result_csv(csv_path, result)
+    fingerprint = {
+        "events": tracer.num_events(),
+        "jsonl_sha256": _sha256(jsonl_path),
+        "csv_sha256": _sha256(csv_path),
+        "miss_count": result.miss_count(),
+    }
+    # The multi-megabyte streams only existed for hashing.
+    jsonl_path.unlink()
+    csv_path.unlink()
+    return fingerprint
+
+
+@pytest.fixture(scope="module")
+def golden_workload():
+    return _build_workload()
+
+
+@pytest.fixture(scope="module")
+def golden():
+    assert GOLDEN_PATH.exists(), (
+        f"{GOLDEN_PATH} missing; regenerate with "
+        "`PYTHONPATH=src python tests/integration/test_golden_trace.py`"
+    )
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_scheduler_outputs_byte_identical(scheduler, golden_workload, golden, tmp_path):
+    cfg, jobs = golden_workload
+    fingerprint = _run_fingerprint(scheduler, cfg, jobs, tmp_path)
+    expected = golden["schedulers"][scheduler]
+    assert fingerprint == expected, (
+        f"{scheduler} output diverged from the golden capture: "
+        f"{fingerprint} != {expected}"
+    )
+
+
+def test_golden_covers_all_five(golden):
+    assert sorted(golden["schedulers"]) == sorted(SCHEDULERS)
+    assert golden["scale"] == SCALE
+    assert golden["seed"] == SEED
+
+
+def regenerate() -> None:
+    import tempfile
+
+    cfg, jobs = _build_workload()
+    payload = {
+        "scale": SCALE,
+        "seed": SEED,
+        "subframes_per_bs": scaled_subframes(SCALE),
+        "schedulers": {},
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        for name in SCHEDULERS:
+            payload["schedulers"][name] = _run_fingerprint(name, cfg, jobs, Path(tmp))
+            print(f"{name}: {payload['schedulers'][name]}")
+    with open(GOLDEN_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"golden written to {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    regenerate()

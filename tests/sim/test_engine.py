@@ -189,11 +189,137 @@ class TestHeapCompaction:
         assert done.cancelled is False
 
     def test_purge_counted_in_stats(self):
+        # Cancel older (non-tail) entries so dead ones accumulate in the
+        # heap and compaction has to fire.
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(100)]
+        for event in events[:90]:
+            event.cancel()
+        assert sim.stats()["purges"] >= 1
+        assert sim.stats()["heap_size"] <= 2 * sim.pending() + 16
+
+    def test_tail_cancel_pops_immediately(self):
+        # schedule-then-cancel of the newest event is removed outright:
+        # no dead entry lingers and no compaction is ever needed.
         sim = Simulator()
         for i in range(100):
             sim.schedule(float(i + 1), lambda: None).cancel()
-        assert sim.stats()["purges"] >= 1
-        assert sim.stats()["heap_size"] <= 16
+        assert sim.stats()["heap_size"] == 0
+        assert sim.stats()["cancelled_pending"] == 0
+        assert sim.stats()["purges"] == 0
+
+
+class TestBatchDrainEdgeCases:
+    def test_purge_deferred_during_batch_drain(self):
+        # A callback inside a tie-group cancels enough future (non-tail)
+        # entries to trip the compaction threshold.  The purge must be
+        # deferred past the draining group — compacting the heap out
+        # from under the drain loop — and still happen afterwards.
+        sim = Simulator()
+        log = []
+        future = [sim.schedule(100.0 + i, lambda: None) for i in range(60)]
+        sim.schedule(200.0, lambda: log.append("survivor"))
+
+        def cancel_many():
+            log.append("canceller")
+            for event in future:
+                event.cancel()
+
+        sim.schedule(10.0, cancel_many)
+        sim.schedule(10.0, lambda: log.append("peer"))
+        sim.run()
+        assert log == ["canceller", "peer", "survivor"]
+        stats = sim.stats()
+        assert stats["purges"] >= 1
+        assert stats["cancelled_pending"] == 0
+        assert stats["heap_size"] == 0
+
+    def test_cancel_within_draining_tie_group(self):
+        # The first member of a tie-group cancels a later member that
+        # has already been popped into the batch: it must be skipped,
+        # and the live counter must stay exact.
+        sim = Simulator()
+        log = []
+        handles = {}
+
+        def first():
+            log.append("a")
+            handles["c"].cancel()
+
+        sim.schedule(10.0, first)
+        sim.schedule(10.0, lambda: log.append("b"))
+        handles["c"] = sim.schedule(10.0, lambda: log.append("c"))
+        sim.schedule(10.0, lambda: log.append("d"))
+        sim.run()
+        assert log == ["a", "b", "d"]
+        assert sim.pending() == 0
+        assert sim.stats()["executed"] == 3
+
+    def test_cancel_next_batch_member(self):
+        # Cancelling the immediately-next member mid-drain is the
+        # tightest case: no other event sits between canceller and
+        # victim.
+        sim = Simulator()
+        log = []
+        handles = {}
+        sim.schedule(10.0, lambda: handles["b"].cancel())
+        handles["b"] = sim.schedule(10.0, lambda: log.append("b"))
+        sim.schedule(10.0, lambda: log.append("c"))
+        sim.run()
+        assert log == ["c"]
+
+    def test_until_landing_on_tie_group_runs_whole_group(self):
+        # run(until=T) with a tie-group exactly at T: the whole group
+        # executes (the horizon check is strict), including same-instant
+        # work the group's callbacks schedule, and now stops at T.
+        sim = Simulator()
+        log = []
+
+        def spawn_same_instant():
+            log.append("first")
+            sim.schedule(10.0, lambda: log.append("spawned"))
+
+        sim.schedule(10.0, spawn_same_instant)
+        sim.schedule(10.0, lambda: log.append("second"))
+        sim.schedule(20.0, lambda: log.append("later"))
+        sim.run(until=10.0)
+        # "spawned" carries a later seq than "second", so key order puts
+        # it last within the instant — but still inside this run().
+        assert log == ["first", "second", "spawned"]
+        assert sim.now == 10.0
+        sim.run()
+        assert log == ["first", "second", "spawned", "later"]
+
+    def test_until_just_below_tie_group_leaves_it_queued(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(10.0, lambda: log.append("a"))
+        sim.schedule(10.0, lambda: log.append("b"))
+        sim.run(until=10.0 - 1e-6)
+        assert log == []
+        assert sim.now == 10.0 - 1e-6
+        assert sim.pending() == 2
+        sim.run()
+        assert log == ["a", "b"]
+
+    def test_exception_mid_group_repatriates_tail(self):
+        # A raising callback mid-group must return the unexecuted tail
+        # to the heap so a later run() still sees it.
+        sim = Simulator()
+        log = []
+        sim.schedule(10.0, lambda: log.append("ok"))
+
+        def boom():
+            raise RuntimeError("boom")
+
+        sim.schedule(10.0, boom)
+        sim.schedule(10.0, lambda: log.append("tail"))
+        with pytest.raises(RuntimeError):
+            sim.run()
+        assert log == ["ok"]
+        assert sim.pending() == 1
+        sim.run()
+        assert log == ["ok", "tail"]
 
 
 class TestPastScheduleTolerance:

@@ -87,6 +87,37 @@ class TestCli:
         assert "jobs=2" in out
         assert run_experiment("fig7", scale=0.01).text in out
 
+    def test_profile_hotspots_in_json_report(self, capsys, tmp_path):
+        report_path = tmp_path / "report.json"
+        assert (
+            main(["fig7", "--scale", "0.01", "--no-cache", "--profile",
+                  "--json", str(report_path)])
+            == 0
+        )
+        assert "profiled" in capsys.readouterr().out
+        payload = json.loads(report_path.read_text())
+        profile = payload["profile"]
+        assert profile["total_calls"] > 0
+        assert 0 < len(profile["top"]) <= 20
+        top = profile["top"][0]
+        assert set(top) == {
+            "function", "calls", "primitive_calls", "tottime_s", "cumtime_s"
+        }
+        # Sorted by cumulative time, the view the flag promises.
+        cumtimes = [row["cumtime_s"] for row in profile["top"]]
+        assert cumtimes == sorted(cumtimes, reverse=True)
+
+    def test_profile_refused_with_parallel_jobs(self, capsys):
+        assert main(["fig7", "--scale", "0.01", "--no-cache", "--profile",
+                     "--jobs", "2"]) == 2
+        assert "--profile requires --jobs 1" in capsys.readouterr().err
+
+    def test_unprofiled_report_has_null_profile(self, capsys, tmp_path):
+        report_path = tmp_path / "report.json"
+        assert main(["fig7", "--scale", "0.01", "--no-cache",
+                     "--json", str(report_path)]) == 0
+        assert json.loads(report_path.read_text())["profile"] is None
+
     def test_failing_driver_reported_and_exits_nonzero(self, capsys):
         from repro.experiments.base import _REGISTRY, register
 
