@@ -122,6 +122,25 @@ def deadline_verdicts(run: "RunTrace | Iterable[TraceEvent]") -> Tuple[int, int]
     return hits, misses
 
 
+def deadline_verdicts_by_class(
+    run: "RunTrace | Iterable[TraceEvent]",
+) -> Dict[str, Tuple[int, int]]:
+    """Per-service-class ``(hits, misses)`` from verdict events.
+
+    Verdicts without a ``service`` arg — every single-class trace ever
+    emitted — count under the default ``embb`` class, so the totals
+    always agree with :func:`deadline_verdicts`.
+    """
+    counts: Dict[str, List[int]] = {}
+    for event in _events(run):
+        if event.kind != DEADLINE:
+            continue
+        service = str(event.args.get("service", "embb"))
+        pair = counts.setdefault(service, [0, 0])
+        pair[1 if event.args.get("missed") else 0] += 1
+    return {s: (pair[0], pair[1]) for s, pair in sorted(counts.items())}
+
+
 # -- migration flows (Perfetto arrows, reconstructed) --------------------------
 
 def migration_flows(

@@ -34,6 +34,12 @@ named kinds.  Tracing forces the result cache off (with a warning): a
 cache-served unit executes no scheduler and would leave holes in the
 timeline.
 
+``--classes urllc:0.1,embb:0.6,mmtc:0.3`` selects the mixed-service
+traffic mix for class-aware experiments (``ext_mixed``): each entry is
+``<class>:<share>`` with shares summing to 1; the per-class packet
+delay budgets and burst profiles come from the standard class table in
+:mod:`repro.workload.classes`.
+
 ``--profile`` wraps the run in cProfile and embeds the top-20
 cumulative hotspots into the ``--json`` telemetry report — the quick
 answer to "where did that run spend its time" without a separate
@@ -80,6 +86,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="sample-size scale; 1.0 = paper-sized runs (default 0.2)",
     )
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED, help="RNG seed")
+    parser.add_argument(
+        "--classes",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "mixed-service class spec, e.g. 'urllc:0.1,embb:0.6,mmtc:0.3' "
+            "(shares sum to 1); applies to experiments that declare the "
+            "option (ext_mixed)"
+        ),
+    )
     parser.add_argument(
         "--jobs",
         type=int,
@@ -201,6 +217,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 2
 
+    options = {}
+    if args.classes is not None:
+        from repro.workload.classes import parse_class_spec
+
+        try:
+            parse_class_spec(args.classes)
+        except ValueError as exc:
+            print(f"error: invalid --classes spec: {exc}", file=sys.stderr)
+            return 2
+        options["classes"] = args.classes
+        if args.experiment != "all":
+            declared = get_experiment(args.experiment).options
+            if "classes" not in declared:
+                print(
+                    f"error: experiment {args.experiment!r} does not take "
+                    "--classes (only class-aware experiments like ext_mixed do)",
+                    file=sys.stderr,
+                )
+                return 2
+
     trace_kinds = None
     if args.trace_kinds is not None:
         if not args.trace_path:
@@ -247,10 +283,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         if profiler is not None:
             return profiler.runcall(
                 runner.run, ids, scale=args.scale, seed=args.seed,
-                on_result=_print_result,
+                on_result=_print_result, options=options,
             )
         return runner.run(
-            ids, scale=args.scale, seed=args.seed, on_result=_print_result
+            ids, scale=args.scale, seed=args.seed, on_result=_print_result,
+            options=options,
         )
 
     if observing:

@@ -16,6 +16,7 @@ from repro.experiments.base import (
 # Import for registration side effects.
 from repro.experiments import (  # noqa: F401  (registration imports)
     ext_harq,
+    ext_mixed,
     ext_multiuser,
     ext_pooling,
     ext_txload,

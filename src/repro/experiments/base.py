@@ -6,7 +6,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.constants import DEFAULT_TRACE_SUBFRAMES
 
@@ -33,8 +33,11 @@ class ExperimentOutput:
         return f"{header}\n{self.text}"
 
 
-#: Driver signature: (scale, seed) -> ExperimentOutput.
-ExperimentFn = Callable[[float, int], ExperimentOutput]
+#: Driver signature: ``(scale, seed, **options) -> ExperimentOutput``.
+#: Options are string-valued keyword arguments the experiment declared
+#: at registration (e.g. ``classes="urllc:0.2,embb:0.5,mmtc:0.3"``);
+#: drivers that declare none keep the plain two-argument signature.
+ExperimentFn = Callable[..., ExperimentOutput]
 
 
 @dataclass(frozen=True)
@@ -71,9 +74,14 @@ class SweepSpec:
     slice of the serial driver.
     """
 
-    units: Callable[[float, int], List[WorkUnit]]
+    units: Callable[..., List[WorkUnit]]
     run_unit: Callable[[WorkUnit], UnitResult]
     combine: Callable[[List[UnitResult], float, int], ExperimentOutput]
+    #: When true, ``units`` is called as ``units(scale, seed, options)``
+    #: and must bake the options into each unit's ``params`` (making
+    #: them part of the cache key and visible to pool workers);
+    #: ``combine`` recovers anything it needs from the unit results.
+    takes_options: bool = False
 
 
 def derive_unit_seed(base_seed: int, experiment_id: str, key: str) -> int:
@@ -98,18 +106,24 @@ class Experiment:
     title: str
     fn: ExperimentFn
     sweep: Optional[SweepSpec] = None
+    #: Option names the driver accepts as keyword arguments.
+    options: Tuple[str, ...] = ()
 
 
 _REGISTRY: Dict[str, Experiment] = {}
 
 
-def register(experiment_id: str, title: str) -> Callable[[ExperimentFn], ExperimentFn]:
+def register(
+    experiment_id: str, title: str, options: Tuple[str, ...] = ()
+) -> Callable[[ExperimentFn], ExperimentFn]:
     """Decorator registering a driver under its artifact id."""
 
     def wrap(fn: ExperimentFn) -> ExperimentFn:
         if experiment_id in _REGISTRY:
             raise ValueError(f"duplicate experiment id {experiment_id!r}")
-        _REGISTRY[experiment_id] = Experiment(experiment_id, title, fn)
+        _REGISTRY[experiment_id] = Experiment(
+            experiment_id, title, fn, options=tuple(options)
+        )
         return fn
 
     return wrap
@@ -134,16 +148,29 @@ def get_experiment(experiment_id: str) -> Experiment:
 
 
 def run_experiment(
-    experiment_id: str, scale: float = 1.0, seed: int = DEFAULT_SEED
+    experiment_id: str,
+    scale: float = 1.0,
+    seed: int = DEFAULT_SEED,
+    options: Optional[Mapping[str, str]] = None,
 ) -> ExperimentOutput:
     """Run one registered experiment.
 
     ``scale`` shrinks the sample sizes proportionally (CI/benchmarks use
-    small scales; ``1.0`` reproduces the paper-sized runs).
+    small scales; ``1.0`` reproduces the paper-sized runs).  ``options``
+    forwards string-valued keyword arguments the experiment declared at
+    registration; passing an undeclared option raises ``ValueError``.
     """
     if scale <= 0:
         raise ValueError("scale must be positive")
-    return get_experiment(experiment_id).fn(scale, seed)
+    exp = get_experiment(experiment_id)
+    opts = dict(options or {})
+    unknown = sorted(set(opts) - set(exp.options))
+    if unknown:
+        raise ValueError(
+            f"experiment {experiment_id!r} does not accept option(s) {unknown}; "
+            f"declared: {sorted(exp.options) or 'none'}"
+        )
+    return exp.fn(scale, seed, **opts)
 
 
 def scaled_subframes(scale: float, minimum: int = 500) -> int:

@@ -24,12 +24,15 @@ class UplinkGrant:
 
     The paper's evaluation assumes a single user at 100% PRB utilization,
     varying MCS according to the load trace; multi-user subframes are
-    expressed as multiple grants in :mod:`repro.workload`.
+    expressed as multiple grants in :mod:`repro.workload`.  ``service``
+    tags the grant's traffic class (``urllc``/``embb``/``mmtc``); the
+    default matches the paper's single-class broadband workload.
     """
 
     mcs: int
     num_prbs: int = 50
     num_antennas: int = 2
+    service: str = "embb"
 
     def __post_init__(self) -> None:
         if self.num_antennas < 1:

@@ -293,10 +293,15 @@ class RunTrace:
         bs_id: int = -1,
         sf_index: int = -1,
         drop_stage: Optional[str] = None,
+        service: str = "embb",
     ) -> None:
         args: Dict[str, object] = {"missed": missed}
         if drop_stage:
             args["drop_stage"] = drop_stage
+        # The default class is implicit so single-class trace files stay
+        # byte-identical to the pre-mixed-service goldens.
+        if service != "embb":
+            args["service"] = service
         self.emit(
             TraceEvent(
                 DEADLINE, ts_us, core,

@@ -53,13 +53,24 @@ def peak_cores_required(jobs: Sequence[SubframeJob], quantile: float = 0.999) ->
 
 
 def pooled_cores_required(jobs: Sequence[SubframeJob], quantile: float = 0.999) -> int:
-    """Cores when all basestations share one statistical reservation."""
+    """Cores when all basestations share one statistical reservation.
+
+    The aggregate is formed subframe-by-subframe, so every basestation
+    must contribute the same number of demand samples; truncating a
+    longer series would silently bias the aggregate quantile low.
+    """
     _check_quantile(quantile)
     per_bs = _utilization_matrix(jobs)
     if not per_bs:
         return 0
-    length = min(d.size for d in per_bs.values())
-    aggregate = np.sum([d[:length] for d in per_bs.values()], axis=0)
+    lengths = {bs: d.size for bs, d in per_bs.items()}
+    if len(set(lengths.values())) > 1:
+        detail = ", ".join(f"bs{bs}={n}" for bs, n in sorted(lengths.items()))
+        raise ValueError(
+            f"per-basestation demand series differ in length ({detail}); "
+            "pooled aggregation needs one sample per basestation per subframe"
+        )
+    aggregate = np.sum(list(per_bs.values()), axis=0)
     return max(1, math.ceil(float(np.quantile(aggregate, quantile))))
 
 

@@ -104,13 +104,16 @@ def _drain_ambient_trace() -> Optional[Dict[str, object]]:
 
 
 def _worker_whole(
-    experiment_id: str, scale: float, seed: int
+    experiment_id: str,
+    scale: float,
+    seed: int,
+    options: Optional[Dict[str, str]] = None,
 ) -> Tuple[ExperimentOutput, float, Optional[Dict[str, object]]]:
     from repro.experiments import run_experiment  # registration side effects
 
     _clear_ambient_trace()
     start = perf_counter()
-    output = run_experiment(experiment_id, scale=scale, seed=seed)
+    output = run_experiment(experiment_id, scale=scale, seed=seed, options=options)
     return output, perf_counter() - start, _drain_ambient_trace()
 
 
@@ -194,26 +197,43 @@ class ExperimentRunner:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
         self.cache = cache
+        # Options of the in-flight run() call; set per invocation.
+        self._options: Dict[str, str] = {}
+
+    def _opts_for(self, exp: Experiment) -> Dict[str, str]:
+        """The subset of the run's options this experiment declares."""
+        return {k: v for k, v in self._options.items() if k in exp.options}
 
     # -- cache plumbing ------------------------------------------------------
 
     def _cached_whole(
-        self, exp: Experiment, scale: float, seed: int
+        self, exp: Experiment, scale: float, seed: int, options: Dict[str, str]
     ) -> Optional[ExperimentOutput]:
         if self.cache is None:
             return None
-        key = self.cache.key(exp.experiment_id, WHOLE_UNIT_KEY, scale, seed)
+        # An empty options dict hashes identically to the pre-options
+        # cache key, so existing caches stay warm for default runs.
+        key = self.cache.key(
+            exp.experiment_id, WHOLE_UNIT_KEY, scale, seed, options or None
+        )
         payload = self.cache.get(key)
         if payload is None:
             return None
         return _output_from_payload(exp.experiment_id, payload)
 
     def _store_whole(
-        self, exp: Experiment, scale: float, seed: int, output: ExperimentOutput
+        self,
+        exp: Experiment,
+        scale: float,
+        seed: int,
+        output: ExperimentOutput,
+        options: Dict[str, str],
     ) -> None:
         if self.cache is None:
             return
-        key = self.cache.key(exp.experiment_id, WHOLE_UNIT_KEY, scale, seed)
+        key = self.cache.key(
+            exp.experiment_id, WHOLE_UNIT_KEY, scale, seed, options or None
+        )
         self.cache.put(key, _output_payload(output))
 
     def _unit_key(self, unit: WorkUnit, scale: float) -> str:
@@ -230,6 +250,7 @@ class ExperimentRunner:
         scale: float = 1.0,
         seed: int = 2016,
         on_result: Optional[ResultCallback] = None,
+        options: Optional[Dict[str, str]] = None,
     ) -> Tuple[List[ExperimentResult], RunReport]:
         """Run experiments, containing driver failures.
 
@@ -238,11 +259,15 @@ class ExperimentRunner:
         of the batch completes and the failure lands in
         ``report.failures``.  ``on_result`` fires once per experiment
         as it finishes (completion order under ``jobs>1``); the
-        returned list is always in ``ids`` order.
+        returned list is always in ``ids`` order.  ``options`` are
+        forwarded to each experiment that declares them (undeclared
+        options are dropped per-experiment, so a batch mixing
+        option-aware and plain experiments works).
         """
         if scale <= 0:
             raise ValueError("scale must be positive")
         experiments = [get_experiment(experiment_id) for experiment_id in ids]
+        self._options = dict(options or {})
         report = RunReport(
             jobs=self.jobs, scale=scale, seed=seed,
             cache_enabled=self.cache is not None,
@@ -277,7 +302,8 @@ class ExperimentRunner:
         results = []
         for exp in experiments:
             start = perf_counter()
-            cached = self._cached_whole(exp, scale, seed)
+            opts = self._opts_for(exp)
+            cached = self._cached_whole(exp, scale, seed, opts)
             if cached is not None:
                 result = ExperimentResult(
                     exp.experiment_id, output=cached,
@@ -285,7 +311,7 @@ class ExperimentRunner:
                 )
             else:
                 try:
-                    output = exp.fn(scale, seed)
+                    output = exp.fn(scale, seed, **opts)
                 except Exception:
                     result = ExperimentResult(
                         exp.experiment_id,
@@ -297,7 +323,7 @@ class ExperimentRunner:
                         exp.experiment_id, output=output,
                         wall_s=perf_counter() - start,
                     )
-                    self._store_whole(exp, scale, seed, output)
+                    self._store_whole(exp, scale, seed, output, opts)
             report.units.append(
                 UnitStat(
                     experiment_id=exp.experiment_id,
@@ -353,7 +379,7 @@ class ExperimentRunner:
                     )
                 )
                 return
-            self._store_whole(exp, scale, seed, output)
+            self._store_whole(exp, scale, seed, output, self._opts_for(exp))
             finish(
                 ExperimentResult(
                     experiment_id, output=output,
@@ -366,7 +392,8 @@ class ExperimentRunner:
         with ProcessPoolExecutor(max_workers=self.jobs, mp_context=ctx) as pool:
             future_meta = {}  # future -> (experiment, unit index or None)
             for exp in experiments:
-                cached = self._cached_whole(exp, scale, seed)
+                opts = self._opts_for(exp)
+                cached = self._cached_whole(exp, scale, seed, opts)
                 if cached is not None:
                     report.units.append(
                         UnitStat(exp.experiment_id, WHOLE_UNIT_KEY, 0.0, cached=True)
@@ -376,7 +403,10 @@ class ExperimentRunner:
                     )
                     continue
                 if exp.sweep is not None:
-                    units = exp.sweep.units(scale, seed)
+                    if exp.sweep.takes_options:
+                        units = exp.sweep.units(scale, seed, opts)
+                    else:
+                        units = exp.sweep.units(scale, seed)
                     unit_lists[exp.experiment_id] = units
                     unit_results[exp.experiment_id] = [None] * len(units)
                     pending_units[exp.experiment_id] = 0
@@ -409,7 +439,7 @@ class ExperimentRunner:
                         combine_ready(exp)
                 else:
                     future = pool.submit(
-                        _worker_whole, exp.experiment_id, scale, seed
+                        _worker_whole, exp.experiment_id, scale, seed, opts
                     )
                     future_meta[future] = (exp, None)
                     spill.register(exp.experiment_id, None)
@@ -440,7 +470,7 @@ class ExperimentRunner:
                         report.units.append(
                             UnitStat(experiment_id, WHOLE_UNIT_KEY, wall_s)
                         )
-                        self._store_whole(exp, scale, seed, value)
+                        self._store_whole(exp, scale, seed, value, self._opts_for(exp))
                         finish(
                             ExperimentResult(experiment_id, output=value, wall_s=wall_s)
                         )

@@ -13,6 +13,8 @@ records.  The module map follows the paper's sec. 3:
 * :mod:`repro.sched.rtopex` — RT-OPEX: partitioned base schedule plus
   opportunistic migration of FFT/decode subtasks into idle-core gaps,
   with the recovery path for preempted migrations;
+* :mod:`repro.sched.das` — delay-aware shared-queue baseline for the
+  mixed-service scenario (budget-criticality × channel-quality order);
 * :mod:`repro.sched.runner` — workload construction and the
   one-call-per-experiment entry points.
 """
@@ -24,6 +26,7 @@ from repro.sched.base import (
     SubframeRecord,
 )
 from repro.sched.cloudiq import CloudIqScheduler
+from repro.sched.das import DelayAwareScheduler
 from repro.sched.global_ import GlobalScheduler
 from repro.sched.migration import MigrationDecision, plan_migration
 from repro.sched.partitioned import PartitionedScheduler
@@ -37,6 +40,7 @@ __all__ = [
     "SubframeJob",
     "SubframeRecord",
     "CloudIqScheduler",
+    "DelayAwareScheduler",
     "GlobalScheduler",
     "MigrationDecision",
     "plan_migration",

@@ -89,6 +89,11 @@ class SubframeJob:
     arrival_override_us, deadline_override_us:
         When set, replace the subframe-derived times — used by jobs
         whose timing is not the standard uplink 2 ms budget.
+    service:
+        Traffic-class tag (``urllc``/``embb``/``mmtc``); the default
+        ``embb`` is the paper's single-class workload.  Mixed-service
+        builders set this together with ``deadline_override_us`` so the
+        job carries its class's packet delay budget.
     """
 
     subframe: Subframe
@@ -98,6 +103,7 @@ class SubframeJob:
     kind: str = "rx"
     arrival_override_us: Optional[float] = None
     deadline_override_us: Optional[float] = None
+    service: str = "embb"
 
     @cached_property
     def arrival_us(self) -> float:
@@ -115,6 +121,15 @@ class SubframeJob:
     def serial_time_us(self) -> float:
         """Single-core execution time including platform noise."""
         return self.work.total_serial_us + self.noise_us
+
+    @cached_property
+    def delay_budget_us(self) -> float:
+        """Packet delay budget: deadline relative to over-the-air receipt.
+
+        Equals ``RX_BUDGET_US`` for the default single-class uplink
+        workload; per-class deadline overrides shrink or stretch it.
+        """
+        return self.deadline_us - self.subframe.air_time_us
 
     @property
     def optimistic_time_us(self) -> float:
@@ -167,6 +182,10 @@ class SubframeRecord:
     #: Reloaded results (CSV round-trips) carry only the migrated-subtask
     #: total, not the per-batch events; this override preserves the count.
     migrated_override: Optional[int] = None
+    #: Traffic-class tag of the job this record came from.  Not part of
+    #: the result-CSV schema (like per-batch migration events), so CSV
+    #: round-trips fall back to the default class.
+    service: str = "embb"
 
     @property
     def processing_time_us(self) -> float:
@@ -267,6 +286,22 @@ class SchedulerResult:
             if r.missed or r.dropped:
                 misses[r.bs_id] = misses.get(r.bs_id, 0) + 1
         return {b: misses.get(b, 0) / totals[b] for b in sorted(totals)}
+
+    def miss_rate_by_class(self) -> Dict[str, float]:
+        """Per-service-class miss rate (the mixed-scenario breakdown)."""
+        totals: Dict[str, int] = {}
+        misses: Dict[str, int] = {}
+        for r in self.records:
+            totals[r.service] = totals.get(r.service, 0) + 1
+            if r.missed or r.dropped:
+                misses[r.service] = misses.get(r.service, 0) + 1
+        return {s: misses.get(s, 0) / totals[s] for s in sorted(totals)}
+
+    def records_by_class(self) -> Dict[str, List[SubframeRecord]]:
+        grouped: Dict[str, List[SubframeRecord]] = {}
+        for r in self.records:
+            grouped.setdefault(r.service, []).append(r)
+        return {s: grouped[s] for s in sorted(grouped)}
 
     # -- distributions --------------------------------------------------------
 

@@ -69,7 +69,7 @@ class CloudIqScheduler(PartitionedScheduler):
                 self.trace.arrival(job.arrival_us, core, sf.bs_id, sf.index)
                 self.trace.deadline(
                     job.arrival_us, core, True, sf.bs_id, sf.index,
-                    drop_stage="admission",
+                    drop_stage="admission", service=job.service,
                 )
             record = SubframeRecord(
                 bs_id=sf.bs_id,
@@ -85,6 +85,7 @@ class CloudIqScheduler(PartitionedScheduler):
                 drop_stage="admission",
                 iterations=job.work.iterations,
                 crc_pass=job.work.crc_pass,
+                service=job.service,
             )
             result.records.append(record)
         result.records.sort(key=lambda r: (r.index, r.bs_id))

@@ -87,6 +87,7 @@ class GlobalScheduler:
                 deadline_us=job.deadline_us,
                 iterations=job.work.iterations,
                 crc_pass=job.work.crc_pass,
+                service=job.service,
             )
 
         def try_dispatch() -> None:
@@ -116,6 +117,7 @@ class GlobalScheduler:
                         trace.deadline(
                             sim.now, -1, True,
                             record.bs_id, record.index, drop_stage="dispatch",
+                            service=record.service,
                         )
                     continue
                 core_idle[idle_core] = False
@@ -140,7 +142,8 @@ class GlobalScheduler:
                         cache_penalty_us=penalty,
                     )
                     trace.deadline(
-                        finish, idle_core, record.missed, record.bs_id, record.index
+                        finish, idle_core, record.missed, record.bs_id, record.index,
+                        service=record.service,
                     )
 
                 def complete(core: int = idle_core) -> None:
@@ -168,6 +171,7 @@ class GlobalScheduler:
                         sim.now, -1, True,
                         oldest.record.bs_id, oldest.record.index,
                         drop_stage="queue-overflow",
+                        service=oldest.record.service,
                     )
             seq_counter[0] += 1
             heapq.heappush(

@@ -66,6 +66,7 @@ class PartitionedScheduler:
                 core_id=core,
                 iterations=job.work.iterations,
                 crc_pass=job.work.crc_pass,
+                service=job.service,
             )
             # With ceil(Tmax) >= 2 cores per BS the core is always free by
             # construction (processing terminates at the 2 ms deadline,
@@ -89,6 +90,7 @@ class PartitionedScheduler:
                 trace.deadline(
                     finish, core, record.missed or record.dropped,
                     sf.bs_id, sf.index, drop_stage=record.drop_stage,
+                    service=record.service,
                 )
                 # A slack-check drop frees the core early but the gap is
                 # "not used" (sec. 4.1); flag it so the aggregators can

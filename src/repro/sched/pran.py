@@ -195,6 +195,7 @@ class PranScheduler:
                 start_us=arrival,
                 iterations=job.work.iterations,
                 crc_pass=job.work.crc_pass,
+                service=job.service,
             )
             if end > job.deadline_us:
                 record.missed = True
@@ -203,6 +204,6 @@ class PranScheduler:
             if trace is not None:
                 trace.deadline(
                     record.finish_us, home[sf.key()], record.missed,
-                    sf.bs_id, sf.index,
+                    sf.bs_id, sf.index, service=record.service,
                 )
             records.append(record)

@@ -480,6 +480,7 @@ class RtOpexScheduler:
                 trace.deadline(
                     finish, me, record.missed or record.dropped,
                     record.bs_id, record.index, drop_stage=record.drop_stage,
+                    service=record.service,
                 )
                 trace.gap(
                     me, finish, record.gap_us, record.bs_id, record.index,
@@ -504,6 +505,7 @@ class RtOpexScheduler:
                 core_id=me,
                 iterations=job.work.iterations,
                 crc_pass=job.work.crc_pass,
+                service=job.service,
             )
             records.append(record)
             now = max(job.arrival_us, busy_until[me])

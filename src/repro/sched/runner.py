@@ -121,9 +121,9 @@ def build_workload(
     return jobs
 
 
-#: Schedulers that accept a ``trace=`` keyword — all five policies.
+#: Schedulers that accept a ``trace=`` keyword — all six policies.
 TRACEABLE_SCHEDULERS = (
-    "partitioned", "global", "rt-opex", "rtopex", "pran", "cloudiq"
+    "partitioned", "global", "rt-opex", "rtopex", "pran", "cloudiq", "das"
 )
 
 
@@ -139,8 +139,10 @@ def run_scheduler(
     """Run one scheduler over a prepared job list.
 
     ``name`` is one of ``partitioned``, ``global`` (respects
-    ``config.num_cores``), ``rt-opex``, ``pran``, or ``cloudiq``; extra
-    keyword arguments are forwarded to the scheduler constructor.
+    ``config.num_cores``), ``rt-opex``, ``pran``, ``cloudiq``, or
+    ``das`` (the delay-aware mixed-service baseline; also respects
+    ``config.num_cores``); extra keyword arguments are forwarded to the
+    scheduler constructor.
 
     When an ambient tracer is installed (see :mod:`repro.obs`), each
     invocation opens its own :class:`~repro.obs.trace.RunTrace` — one
@@ -214,6 +216,10 @@ def run_scheduler(
         result = PranScheduler(config, rng=streams.stream("pran"), **kwargs).run(jobs)
     elif name == "cloudiq":
         result = CloudIqScheduler(config, **kwargs).run(jobs)
+    elif name == "das":
+        from repro.sched.das import DelayAwareScheduler
+
+        result = DelayAwareScheduler(config, rng=streams.stream("das"), **kwargs).run(jobs)
     else:
         raise ValueError(f"unknown scheduler {name!r}")
     if sanitizing_run is not None:

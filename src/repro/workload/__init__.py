@@ -9,7 +9,15 @@ variation (Fig. 1) and distinct per-basestation load CDFs (Fig. 14) —
 and emulates the energy-correlation measurement itself.
 """
 
+from repro.workload.classes import (
+    STANDARD_CLASSES,
+    ServiceClass,
+    ServiceMix,
+    parse_class_spec,
+    single_class_mix,
+)
 from repro.workload.mapping import GrantMapper
+from repro.workload.mixed import build_mixed_workload
 from repro.workload.traces import (
     BasestationTraceConfig,
     CellularTraceGenerator,
@@ -23,4 +31,10 @@ __all__ = [
     "CellularTraceGenerator",
     "default_basestation_configs",
     "measure_load_from_energy",
+    "STANDARD_CLASSES",
+    "ServiceClass",
+    "ServiceMix",
+    "parse_class_spec",
+    "single_class_mix",
+    "build_mixed_workload",
 ]

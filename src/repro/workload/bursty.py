@@ -1,0 +1,119 @@
+"""Arrival-burstiness envelopes layered on the cellular traces.
+
+`CellularTraceGenerator` models broadband load as an AR(1) walk around
+a diurnal mean — the paper's (steady, eMBB-like) traffic.  The mixed
+service scenario needs two more shapes:
+
+* **flash crowd** — URLLC-style synchronized bursts: load sits at a
+  quiet baseline, then spikes for a handful of subframes when an event
+  fires (all the sensors/controllers in a cell reacting at once);
+* **diurnal ramp** — mMTC-style slow swell: a deterministic ramp with
+  one period across the horizon (metering windows, fleet check-ins).
+
+Envelopes are multiplicative shapes in ``[0, ~peak]`` applied to a base
+load matrix; the ``"steady"`` profile is the identity so the default
+eMBB class leaves loads untouched.  All randomness comes from the
+caller's generator — a dedicated ``"burst"`` stream — so shaping never
+perturbs the iteration/noise streams the golden traces depend on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workload.traces import clip01
+
+#: Flash-crowd tuning: expected one burst per this many subframes.
+FLASH_CROWD_PERIOD_SF = 200
+#: Burst duration in subframes (1 ms each).
+FLASH_CROWD_WIDTH_SF = 8
+#: Load multiplier at the peak of a burst.
+FLASH_CROWD_PEAK = 3.0
+#: Quiet-time multiplier between bursts.
+FLASH_CROWD_FLOOR = 0.4
+
+#: Diurnal-ramp swing around 1.0 (peak = 1 + swing, trough = 1 - swing).
+DIURNAL_SWING = 0.6
+
+
+def steady_envelope(num_subframes: int) -> np.ndarray:
+    """Identity envelope: the eMBB profile (trace already diurnal)."""
+    return np.ones(num_subframes, dtype=np.float64)
+
+
+def flash_crowd_envelope(
+    num_subframes: int,
+    rng: np.random.Generator,
+    period_sf: int = FLASH_CROWD_PERIOD_SF,
+    width_sf: int = FLASH_CROWD_WIDTH_SF,
+    peak: float = FLASH_CROWD_PEAK,
+    floor: float = FLASH_CROWD_FLOOR,
+) -> np.ndarray:
+    """Quiet floor with randomly-placed triangular bursts.
+
+    Burst start positions are Bernoulli(1/period) per subframe, so the
+    expected inter-burst spacing is ``period_sf`` subframes; each burst
+    rises linearly to ``peak`` then decays over ``width_sf`` subframes.
+    Overlapping bursts take the max, not the sum (a crowd is a crowd).
+    """
+    if num_subframes < 1:
+        raise ValueError("need at least one subframe")
+    env = np.full(num_subframes, floor, dtype=np.float64)
+    starts = np.flatnonzero(rng.random(num_subframes) < 1.0 / period_sf)
+    half = max(1, width_sf // 2)
+    for start in starts:
+        for k in range(width_sf):
+            idx = start + k
+            if idx >= num_subframes:
+                break
+            rise = (k + 1) / half if k < half else (width_sf - k) / half
+            env[idx] = max(env[idx], floor + (peak - floor) * min(1.0, rise))
+    return env
+
+
+def diurnal_ramp_envelope(
+    num_subframes: int,
+    rng: np.random.Generator,
+    swing: float = DIURNAL_SWING,
+) -> np.ndarray:
+    """One slow sinusoidal swell across the horizon, random phase."""
+    if num_subframes < 1:
+        raise ValueError("need at least one subframe")
+    phase = rng.uniform(0.0, 2.0 * np.pi)
+    t = np.arange(num_subframes, dtype=np.float64) / num_subframes
+    return 1.0 + swing * np.sin(2.0 * np.pi * t + phase)
+
+
+def burst_envelope(
+    profile: str,
+    num_subframes: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Envelope for a named profile (``steady`` consumes no randomness)."""
+    if profile == "steady":
+        return steady_envelope(num_subframes)
+    if profile == "flash-crowd":
+        return flash_crowd_envelope(num_subframes, rng)
+    if profile == "diurnal":
+        return diurnal_ramp_envelope(num_subframes, rng)
+    raise ValueError(f"unknown burst profile {profile!r}")
+
+
+def shape_loads(
+    base_loads: np.ndarray,
+    envelope: np.ndarray,
+    load_scale: float,
+) -> np.ndarray:
+    """Apply ``load_scale`` then the per-subframe envelope, clipped to [0, 1].
+
+    ``base_loads`` is (num_basestations, num_subframes); the envelope
+    broadcasts across basestations.
+    """
+    if base_loads.ndim != 2:
+        raise ValueError("base_loads must be (num_basestations, num_subframes)")
+    if envelope.shape != (base_loads.shape[1],):
+        raise ValueError(
+            f"envelope length {envelope.shape} does not match "
+            f"{base_loads.shape[1]} subframes"
+        )
+    return clip01(base_loads * load_scale * envelope[np.newaxis, :])

@@ -1,0 +1,219 @@
+"""Mixed-service traffic classes: URLLC / eMBB / mMTC.
+
+The paper evaluates every subframe against the single 2 ms uplink
+budget (Eq. (2)).  5G service classes break that assumption: each class
+carries its own *packet delay budget* (PDB — the time from over-the-air
+receipt to decode finish), its own arrival-burstiness profile, and a
+share of the user population (3GPP TS 23.501 QoS characteristics,
+collapsed to the three canonical classes):
+
+* **URLLC** — ultra-reliable low latency: a tight sub-millisecond
+  budget, small payloads, and flash-crowd arrival bursts (alarms,
+  coordinated control loops firing together);
+* **eMBB** — mobile broadband: the paper's workload, 2 ms budget,
+  full-load traffic shaped by the measured cellular traces;
+* **mMTC** — massive machine type: delay-tolerant tiny reports whose
+  aggregate load follows slow diurnal ramps.
+
+A :class:`ServiceMix` assigns classes to subframes by share and is the
+unit the CLI's ``--classes urllc:0.1,embb:0.6,mmtc:0.3`` spec parses
+into.  The default single-class mix (``embb:1.0``) reproduces today's
+behaviour exactly: budget 2 ms, no load shaping, no extra RNG draws on
+the workload streams — which is what keeps the committed golden traces
+byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.constants import RX_BUDGET_US
+
+#: Class name every un-tagged job implicitly carries (the paper's
+#: single-deadline workload *is* eMBB traffic).
+DEFAULT_SERVICE = "embb"
+
+#: Share tolerance: parsed shares must sum to 1 within this.
+_SHARE_EPS = 1e-6
+
+
+@dataclass(frozen=True)
+class ServiceClass:
+    """One traffic class of the mixed-service scenario.
+
+    Attributes
+    ----------
+    name:
+        Class tag carried on grants, jobs, records, and trace events.
+    delay_budget_us:
+        Packet delay budget: the absolute deadline is
+        ``air_time + delay_budget_us`` (the eMBB budget equals the
+        paper's ``RX_BUDGET_US``).
+    share:
+        Fraction of subframes/users this class claims in a mix.
+    burst:
+        Arrival-burstiness profile shaping this class's load
+        (see :mod:`repro.workload.bursty`): ``"steady"``,
+        ``"flash-crowd"``, or ``"diurnal"``.
+    load_scale:
+        Multiplier on the base cellular trace before burst shaping —
+        URLLC/mMTC payloads are far smaller than broadband traffic.
+    """
+
+    name: str
+    delay_budget_us: float
+    share: float
+    burst: str = "steady"
+    load_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("service class needs a name")
+        if self.delay_budget_us <= 0:
+            raise ValueError("delay_budget_us must be positive")
+        if not 0.0 <= self.share <= 1.0:
+            raise ValueError("share must lie in [0, 1]")
+        if self.burst not in ("steady", "flash-crowd", "diurnal"):
+            raise ValueError(f"unknown burst profile {self.burst!r}")
+        if self.load_scale <= 0:
+            raise ValueError("load_scale must be positive")
+
+
+#: The canonical classes a ``--classes`` spec refers to by name.
+STANDARD_CLASSES: Dict[str, ServiceClass] = {
+    # URLLC: tightest budget that stays physically feasible — a full
+    # subframe decodes in 0.5-1.4 ms (Fig. 3), so with RTT/2 = 500 us a
+    # sub-1.5 ms budget would be unmeetable for every frame; 1.5 ms
+    # leaves low-MCS URLLC frames schedulable with zero slack to waste.
+    "urllc": ServiceClass(
+        "urllc", delay_budget_us=1500.0, share=0.0,
+        burst="flash-crowd", load_scale=0.35,
+    ),
+    "embb": ServiceClass(
+        "embb", delay_budget_us=RX_BUDGET_US, share=0.0,
+        burst="steady", load_scale=1.0,
+    ),
+    "mmtc": ServiceClass(
+        "mmtc", delay_budget_us=10000.0, share=0.0,
+        burst="diurnal", load_scale=0.15,
+    ),
+}
+
+#: Mix the ``ext_mixed`` experiment runs by default.
+DEFAULT_MIXED_SPEC = "urllc:0.2,embb:0.5,mmtc:0.3"
+
+
+@dataclass(frozen=True)
+class ServiceMix:
+    """An ordered set of service classes whose shares sum to one."""
+
+    classes: Tuple[ServiceClass, ...]
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise ValueError("a service mix needs at least one class")
+        names = [c.name for c in self.classes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate class names in mix: {names}")
+        total = sum(c.share for c in self.classes)
+        if abs(total - 1.0) > _SHARE_EPS:
+            raise ValueError(f"class shares must sum to 1, got {total:.6f}")
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(c.name for c in self.classes)
+
+    @property
+    def is_single_class(self) -> bool:
+        return len(self.classes) == 1
+
+    def by_name(self, name: str) -> ServiceClass:
+        for cls in self.classes:
+            if cls.name == name:
+                return cls
+        raise KeyError(f"no class {name!r} in mix {self.spec()}")
+
+    def budgets(self) -> Dict[str, float]:
+        """Per-class packet delay budgets in microseconds."""
+        return {c.name: c.delay_budget_us for c in self.classes}
+
+    def spec(self) -> str:
+        """Render back to the ``--classes`` spec syntax."""
+        return ",".join(f"{c.name}:{c.share:g}" for c in self.classes)
+
+    def assign(
+        self,
+        num_basestations: int,
+        num_subframes: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Class index per (basestation, subframe), drawn by share.
+
+        One draw per subframe from ``rng`` — a dedicated stream, so the
+        assignment never perturbs the workload's iteration/noise
+        streams.  A single-class mix assigns without consuming any
+        randomness at all (the byte-identity guarantee).
+        """
+        shape = (num_basestations, num_subframes)
+        if self.is_single_class:
+            return np.zeros(shape, dtype=np.intp)
+        shares = np.array([c.share for c in self.classes], dtype=np.float64)
+        shares = shares / shares.sum()  # exact normalization for choice()
+        return rng.choice(len(self.classes), size=shape, p=shares)
+
+
+def single_class_mix(name: str = DEFAULT_SERVICE) -> ServiceMix:
+    """The degenerate mix reproducing today's single-deadline workload."""
+    base = STANDARD_CLASSES.get(name)
+    if base is None:
+        raise ValueError(
+            f"unknown service class {name!r}; known: {sorted(STANDARD_CLASSES)}"
+        )
+    return ServiceMix((replace(base, share=1.0),))
+
+
+def parse_class_spec(spec: str) -> ServiceMix:
+    """Parse a ``urllc:0.1,embb:0.6,mmtc:0.3``-style CLI spec.
+
+    Each entry is ``<class>:<share>`` with ``<class>`` one of the
+    standard names; entries with share 0 are dropped; shares must sum
+    to 1.  Raises ``ValueError`` with a position-bearing message on any
+    malformed entry.
+    """
+    if not spec or not spec.strip():
+        raise ValueError("empty --classes spec")
+    classes = []
+    for pos, entry in enumerate(spec.split(",")):
+        entry = entry.strip()
+        if not entry:
+            raise ValueError(f"empty entry at position {pos} in {spec!r}")
+        name, sep, share_text = entry.partition(":")
+        name = name.strip().lower()
+        if not sep:
+            raise ValueError(
+                f"entry {entry!r} at position {pos} is not <class>:<share>"
+            )
+        base = STANDARD_CLASSES.get(name)
+        if base is None:
+            raise ValueError(
+                f"unknown service class {name!r} at position {pos}; "
+                f"known: {sorted(STANDARD_CLASSES)}"
+            )
+        try:
+            share = float(share_text)
+        except ValueError:
+            raise ValueError(
+                f"non-numeric share {share_text!r} for class {name!r} "
+                f"at position {pos}"
+            ) from None
+        if share < 0:
+            raise ValueError(f"negative share for class {name!r}")
+        if share == 0:
+            continue
+        classes.append(replace(base, share=share))
+    if not classes:
+        raise ValueError(f"no class with a positive share in {spec!r}")
+    return ServiceMix(tuple(classes))

@@ -53,17 +53,52 @@ def save_traces_csv(path: PathLike, traces: np.ndarray) -> None:
             writer.writerow([f"{v:.6f}" for v in row])
 
 
+def _is_numeric_row(row: list) -> bool:
+    try:
+        for cell in row:
+            float(cell)
+    except ValueError:
+        return False
+    return bool(row)
+
+
 def load_traces_csv(path: PathLike) -> np.ndarray:
-    """Load traces from the CSV layout of :func:`save_traces_csv`."""
+    """Load traces from the CSV layout of :func:`save_traces_csv`.
+
+    The ``bs0,bs1,...`` header row is optional: a first row that parses
+    entirely as numbers is treated as data (a headerless export), not
+    silently discarded.  Malformed cells are reported with their 1-based
+    row and column position.
+    """
     with open(Path(path), newline="") as handle:
         reader = csv.reader(handle)
-        header = next(reader, None)
-        if not header:
+        first = next(reader, None)
+        if not first:
             raise ValueError(f"{path} is empty")
-        rows = [[float(cell) for cell in row] for row in reader if row]
+        headerless = _is_numeric_row(first)
+        width = len(first)
+        rows = []
+        if headerless:
+            rows.append([float(cell) for cell in first])
+        for line_no, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            parsed = []
+            for col, cell in enumerate(row):
+                try:
+                    parsed.append(float(cell))
+                except ValueError:
+                    raise ValueError(
+                        f"{path}: non-numeric cell {cell!r} at row {line_no}, "
+                        f"column {col + 1}"
+                    ) from None
+            rows.append(parsed)
     if not rows:
         raise ValueError(f"{path} has no data rows")
     widths = {len(row) for row in rows}
-    if widths != {len(header)}:
-        raise ValueError("ragged CSV: every row must match the header width")
+    if widths != {width}:
+        raise ValueError(
+            f"{path}: ragged CSV — every row must have {width} columns "
+            f"(saw widths {sorted(widths)})"
+        )
     return _validate(np.array(rows).T)

@@ -11,7 +11,7 @@ the *same* traffic through different task granularities.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
@@ -26,12 +26,29 @@ from repro.timing.platform import PlatformNoiseModel
 from repro.workload.mapping import GrantMapper
 from repro.workload.traces import CellularTraceGenerator
 
+if TYPE_CHECKING:
+    from repro.workload.classes import ServiceMix
+
 #: Smallest per-user allocation worth scheduling (PRBs).
 MIN_USER_PRBS = 4
 
 
 def split_prbs(total: int, num_users: int, rng: np.random.Generator) -> List[int]:
-    """Random composition of ``total`` PRBs with a minimum share each."""
+    """Random composition of ``total`` PRBs with a minimum share each.
+
+    Every returned share is ``>= MIN_USER_PRBS`` and the shares sum to
+    ``total``, shrinking ``num_users`` when the request cannot satisfy
+    the minimum.  Degenerate case, explicitly allowed: when
+    ``0 < total < MIN_USER_PRBS`` the grid cannot host even one
+    minimum-sized allocation, so the single user takes the whole
+    (sub-minimum) grant — ``[total]`` — rather than pretending at PRBs
+    that do not exist.  ``total < 1`` or ``num_users < 1`` is a caller
+    bug and raises.
+    """
+    if total < 1:
+        raise ValueError(f"cannot split {total} PRBs: need at least 1")
+    if num_users < 1:
+        raise ValueError(f"num_users must be >= 1, got {num_users}")
     if total < num_users * MIN_USER_PRBS:
         num_users = max(1, total // MIN_USER_PRBS)
     if num_users == 1:
@@ -57,6 +74,7 @@ def build_multiuser_workload(
     timing_model: Optional[LinearTimingModel] = None,
     iteration_model: Optional[IterationModel] = None,
     noise_model: Optional[PlatformNoiseModel] = None,
+    mix: Optional["ServiceMix"] = None,
 ) -> List[SubframeJob]:
     """Materialize a multi-user workload over the standard traces.
 
@@ -65,6 +83,12 @@ def build_multiuser_workload(
     efficiency — byte-comparable to the single-user workload, only the
     task granularity differs.  With ``full_prb=False`` the occupied PRB
     count itself scales with load ("varying PRB utilization").
+
+    ``mix`` optionally assigns each *user* a traffic class by share
+    (drawn from the dedicated ``mu-class`` stream, so passing no mix
+    leaves the workload byte-identical to before).  The subframe-level
+    job is as urgent as its most critical user: its deadline is the
+    minimum per-user budget and its class tag that user's class.
     """
     if max_users < 1:
         raise ValueError("max_users must be >= 1")
@@ -89,6 +113,11 @@ def build_multiuser_workload(
     split_rng = streams.stream("mu-split")
     iter_rng = streams.stream("mu-iterations")
     noise_rng = streams.stream("mu-noise")
+    class_rng = streams.stream("mu-class") if mix is not None else None
+    mix_shares = None
+    if mix is not None:
+        mix_shares = np.array([c.share for c in mix.classes], dtype=np.float64)
+        mix_shares = mix_shares / mix_shares.sum()
 
     jobs: List[SubframeJob] = []
     for bs in range(config.num_basestations):
@@ -101,9 +130,21 @@ def build_multiuser_workload(
                 occupied = max(MIN_USER_PRBS, int(round(load * 50)))
             num_users = int(split_rng.integers(1, max_users + 1))
             shares = split_prbs(occupied, num_users, split_rng)
+            if mix is None:
+                user_classes = None
+            elif mix.is_single_class:
+                user_classes = [mix.classes[0]] * len(shares)
+            else:
+                draws = class_rng.choice(
+                    len(mix.classes), size=len(shares), p=mix_shares
+                )
+                user_classes = [mix.classes[int(d)] for d in draws]
             grants = [
-                UplinkGrant(mcs=mcs, num_prbs=p, num_antennas=config.num_antennas)
-                for p in shares
+                UplinkGrant(
+                    mcs=mcs, num_prbs=p, num_antennas=config.num_antennas,
+                    service=user_classes[u].name if user_classes else "embb",
+                )
+                for u, p in enumerate(shares)
             ]
             per_user_iters = []
             crc_ok = True
@@ -129,12 +170,23 @@ def build_multiuser_workload(
                 transport_latency_us=config.transport_latency_us,
                 grid=grid,
             )
+            if user_classes:
+                # The subframe finishes when its slowest user decodes, so
+                # the job inherits the *tightest* user budget present.
+                critical = min(user_classes, key=lambda c: c.delay_budget_us)
+                deadline_override = subframe.air_time_us + critical.delay_budget_us
+                service = critical.name
+            else:
+                deadline_override = None
+                service = "embb"
             jobs.append(
                 SubframeJob(
                     subframe=subframe,
                     work=work,
                     noise_us=noise.draw_one(noise_rng),
                     load=load,
+                    deadline_override_us=deadline_override,
+                    service=service,
                 )
             )
     return jobs

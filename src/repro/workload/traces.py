@@ -28,6 +28,11 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 
+def clip01(values: np.ndarray) -> np.ndarray:
+    """Clip an array of normalized loads into [0, 1]."""
+    return np.clip(values, 0.0, 1.0)
+
+
 @dataclass(frozen=True)
 class BasestationTraceConfig:
     """Marginal and temporal parameters of one basestation's load."""
@@ -103,7 +108,7 @@ class CellularTraceGenerator:
             state = rho * state + rng.normal(scale=innovation_std)
             slow[t] = state
         fast = rng.normal(scale=cfg.fast_std, size=num_subframes)
-        return np.clip(cfg.mean + slow + fast, 0.0, 1.0)
+        return clip01(cfg.mean + slow + fast)
 
 
 def measure_load_from_energy(

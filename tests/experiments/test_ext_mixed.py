@@ -1,0 +1,95 @@
+"""Shape and options-threading tests for the mixed-service experiment."""
+
+import pytest
+
+from repro.experiments import get_experiment, run_experiment
+from repro.runtime import ExperimentRunner
+
+SCALE = 0.02
+SEED = 7
+ALL_SCHEDULERS = {"pran", "cloudiq", "partitioned", "global", "rt-opex", "das"}
+
+
+@pytest.fixture(scope="module")
+def mixed():
+    return run_experiment("ext_mixed", scale=SCALE, seed=SEED)
+
+
+class TestExtMixed:
+    def test_all_six_schedulers_present(self, mixed):
+        assert set(mixed.data["schedulers"]) == ALL_SCHEDULERS
+
+    def test_per_class_rollups_complete(self, mixed):
+        for row in mixed.data["schedulers"].values():
+            by_class = row["by_class"]
+            assert set(by_class) == {"urllc", "embb", "mmtc"}
+            for stats in by_class.values():
+                assert 0.0 <= stats["miss_rate"] <= 1.0
+                assert stats["subframes"] > 0
+                assert stats["budget_us"] > 0
+                cdf = stats["lateness_cdf"]
+                assert len(cdf["xs"]) == len(cdf["ps"])
+
+    def test_class_subframes_partition_workload(self, mixed):
+        for row in mixed.data["schedulers"].values():
+            totals = [c["subframes"] for c in row["by_class"].values()]
+            # 4 basestations x (scaled subframes // 2) each.
+            assert sum(totals) % 4 == 0
+
+    def test_budgets_follow_class_table(self, mixed):
+        row = next(iter(mixed.data["schedulers"].values()))
+        budgets = {c: s["budget_us"] for c, s in row["by_class"].items()}
+        assert budgets["urllc"] < budgets["embb"] < budgets["mmtc"]
+
+    def test_lateness_cdf_monotone(self, mixed):
+        for row in mixed.data["schedulers"].values():
+            for stats in row["by_class"].values():
+                xs = stats["lateness_cdf"]["xs"]
+                assert xs == sorted(xs)
+
+    def test_delay_awareness_pays_on_urllc(self, mixed):
+        # The extension's headline: on the same cores, ordering by
+        # budget criticality must not lose to plain EDF on the class
+        # the criticality term exists for.
+        sched = mixed.data["schedulers"]
+        das_urllc = sched["das"]["by_class"]["urllc"]["miss_rate"]
+        glob_urllc = sched["global"]["by_class"]["urllc"]["miss_rate"]
+        assert das_urllc <= glob_urllc + 0.02
+
+    def test_renders_class_columns(self, mixed):
+        assert "urllc miss" in mixed.text
+        assert "per-class budgets" in mixed.text
+
+
+class TestClassesOption:
+    def test_declared_on_experiment(self):
+        assert get_experiment("ext_mixed").options == ("classes",)
+
+    def test_option_changes_the_mix(self):
+        out = run_experiment(
+            "ext_mixed", scale=SCALE, seed=SEED,
+            options={"classes": "urllc:0.5,embb:0.5"},
+        )
+        assert out.data["classes"] == "urllc:0.5,embb:0.5"
+        row = next(iter(out.data["schedulers"].values()))
+        assert set(row["by_class"]) == {"urllc", "embb"}
+
+    def test_undeclared_option_rejected(self):
+        with pytest.raises(ValueError, match="does not accept"):
+            run_experiment(
+                "fig15", scale=SCALE, seed=SEED,
+                options={"classes": "embb:1.0"},
+            )
+
+    def test_parallel_matches_serial_with_options(self):
+        options = {"classes": "urllc:0.4,embb:0.6"}
+        serial = run_experiment(
+            "ext_mixed", scale=SCALE, seed=SEED, options=options
+        )
+        runner = ExperimentRunner(jobs=2, cache=None)
+        results, _ = runner.run(
+            ["ext_mixed"], scale=SCALE, seed=SEED, options=options
+        )
+        assert results[0].error is None
+        assert results[0].output.text == serial.text
+        assert results[0].output.data == serial.data

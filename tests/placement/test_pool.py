@@ -55,6 +55,27 @@ class TestProvisioning:
     def test_empty_jobs(self):
         assert pooled_cores_required([], 0.99) == 0
 
+    def test_mismatched_series_lengths_rejected(self):
+        # Regression: the aggregation used to zip the per-BS demand
+        # series, silently truncating every series to the shortest and
+        # biasing the pooled quantile low.  Unequal lengths are a caller
+        # bug and must raise, naming the offenders.
+        jobs = [make_job(0, j, 13, [1]) for j in range(5)]
+        jobs += [make_job(1, j, 13, [1]) for j in range(3)]
+        with pytest.raises(ValueError, match=r"bs0=5.*bs1=3"):
+            pooled_cores_required(jobs, 0.99)
+
+    def test_equal_lengths_still_aggregate(self):
+        jobs = [make_job(b, j, 13, [1]) for b in range(2) for j in range(5)]
+        assert pooled_cores_required(jobs, 0.99) >= 1
+
+    def test_peak_provisioning_tolerates_mismatch(self):
+        # Per-BS peaks never aggregate across cells, so unequal series
+        # remain well-defined there.
+        jobs = [make_job(0, j, 13, [1]) for j in range(5)]
+        jobs += [make_job(1, j, 13, [1]) for j in range(3)]
+        assert peak_cores_required(jobs, 0.99) == 2
+
 
 class TestPlacement:
     def test_every_bs_placed_once(self, fleet_jobs):

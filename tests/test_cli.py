@@ -118,6 +118,29 @@ class TestCli:
                      "--json", str(report_path)]) == 0
         assert json.loads(report_path.read_text())["profile"] is None
 
+    def test_invalid_classes_spec_is_a_usage_error(self, capsys):
+        assert main(
+            ["ext_mixed", "--no-cache", "--classes", "volte:1.0"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "invalid --classes spec" in err
+        assert "volte" in err
+
+    def test_classes_on_classless_experiment_rejected(self, capsys):
+        assert main(["fig4", "--no-cache", "--classes", "embb:1.0"]) == 2
+        assert "does not take" in capsys.readouterr().err
+
+    def test_classes_flag_reaches_the_experiment(self, capsys):
+        assert main(
+            [
+                "ext_mixed", "--scale", "0.01", "--no-cache",
+                "--classes", "urllc:0.5,mmtc:0.5",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "urllc:0.5,mmtc:0.5" in out
+        assert "urllc miss" in out and "mmtc miss" in out
+
     def test_failing_driver_reported_and_exits_nonzero(self, capsys):
         from repro.experiments.base import _REGISTRY, register
 

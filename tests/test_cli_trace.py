@@ -124,6 +124,37 @@ class TestTable2AllSchedulersTraced:
         assert populated == {h["index"] for h in headers}
 
 
+class TestMixedServiceAllSchedulersTraced:
+    def test_all_six_schedulers_emit_class_tagged_traces(self, tmp_path):
+        # The mixed-service scenario across every scheduler — the
+        # paper's five plus das — streamed to JSONL.  In CI this runs
+        # under RTOPEX_SANITIZE=1, so each of the six timelines is also
+        # validated against the full virtual-time invariant profile.
+        path = tmp_path / "ext_mixed.jsonl"
+        assert main(
+            [
+                "ext_mixed", "--scale", SCALE, "--no-cache",
+                "--classes", "urllc:0.2,embb:0.5,mmtc:0.3",
+                "--trace", str(path), "--trace-format", "jsonl",
+            ]
+        ) == 0
+        lines = list(iter_jsonl_lines(path))
+        assert validate_jsonl_trace(lines) == []
+        headers = [line for line in lines if line["type"] == "run"]
+        assert {h["scheduler"] for h in headers} == {
+            "pran", "cloudiq", "partitioned", "global", "rt-opex", "das",
+        }
+        # Deadline verdicts carry the class tags of the mixed workload.
+        services = {
+            line["args"]["service"]
+            for line in lines
+            if line["type"] == "event"
+            and line["kind"] == "deadline"
+            and "service" in line.get("args", {})
+        }
+        assert services >= {"urllc", "mmtc"}
+
+
 class TestTraceKinds:
     def test_kind_filter_reaches_the_file(self, tmp_path):
         path = tmp_path / "filtered.jsonl"

@@ -69,6 +69,65 @@ class TestCsv:
         with pytest.raises(ValueError):
             load_traces_csv(path)
 
+    def test_ragged_error_reports_widths(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("bs0,bs1\n0.5,0.5\n0.4\n")
+        with pytest.raises(ValueError, match=r"2 columns.*\[1, 2\]"):
+            load_traces_csv(path)
+
+    def test_round_trip_preserves_six_decimals(self, traces, tmp_path):
+        # The CSV writer emits %.6f, so the round trip must be exact to
+        # half an ulp of the sixth decimal — not merely "close".
+        path = tmp_path / "traces.csv"
+        save_traces_csv(path, traces)
+        loaded = load_traces_csv(path)
+        assert np.abs(loaded - traces).max() <= 5e-7
+
+
+class TestHeaderlessCsv:
+    """Regression tests: a headerless export must not lose its first row.
+
+    The loader used to unconditionally treat row 1 as the ``bs0,bs1,...``
+    header, silently swallowing the first subframe of every headerless
+    trace.
+    """
+
+    def test_first_row_is_data(self, tmp_path):
+        path = tmp_path / "headerless.csv"
+        path.write_text("0.125,0.5\n0.25,0.75\n0.375,1.0\n")
+        loaded = load_traces_csv(path)
+        assert loaded.shape == (2, 3)  # all three subframes survive
+        assert np.array_equal(loaded[:, 0], [0.125, 0.5])
+
+    def test_headerless_round_trips_against_headered(self, traces, tmp_path):
+        headered = tmp_path / "headered.csv"
+        save_traces_csv(headered, traces)
+        headerless = tmp_path / "headerless.csv"
+        headerless.write_text(
+            "".join(headered.read_text().splitlines(keepends=True)[1:])
+        )
+        assert np.array_equal(
+            load_traces_csv(headerless), load_traces_csv(headered)
+        )
+
+    def test_single_column_headerless(self, tmp_path):
+        path = tmp_path / "one.csv"
+        path.write_text("0.1\n0.2\n")
+        assert load_traces_csv(path).shape == (1, 2)
+
+    def test_non_numeric_cell_positions_reported(self, tmp_path):
+        # Error messages must name the 1-based row and column so a
+        # megabyte-sized export is debuggable.
+        path = tmp_path / "bad.csv"
+        path.write_text("bs0,bs1\n0.5,0.5\n0.4,oops\n")
+        with pytest.raises(ValueError, match="'oops' at row 3, column 2"):
+            load_traces_csv(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.csv"
+        path.write_text("bs0,bs1\n0.5,0.5\n\n0.4,0.6\n")
+        assert load_traces_csv(path).shape == (2, 2)
+
     def test_out_of_range_rejected(self, tmp_path):
         path = tmp_path / "range.csv"
         path.write_text("bs0\n1.5\n")
