@@ -5,6 +5,7 @@ Every experiment driver renders its output through
 same across the suite and are easy to diff against EXPERIMENTS.md.
 """
 
+from repro.analysis.fleet import fleet_summary, node_summary
 from repro.analysis.report import Table, format_series, render_cdf
 from repro.analysis.stats import (
     binomial_confidence_interval,
@@ -37,6 +38,8 @@ __all__ = [
     "deadline_verdicts",
     "empirical_cdf",
     "find_overlaps",
+    "fleet_summary",
+    "node_summary",
     "gap_cdf",
     "gap_histogram",
     "gap_samples",

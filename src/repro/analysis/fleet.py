@@ -1,0 +1,67 @@
+"""Fleet-level rollups: fold per-node scheduler runs into one view.
+
+The fleet sweeps (:mod:`repro.experiments.ext_fleet`) run an
+independent scheduler instance per compute node and need the node
+outcomes folded back into fleet answers: what fraction of all
+subframes missed, how hot the provisioned nodes ran, and how many
+cores the placement bought.  Everything here is JSON-native — these
+dicts travel through :class:`~repro.experiments.base.WorkUnit` results
+and the on-disk cache unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.sched.base import SchedulerResult
+
+
+def node_summary(
+    result: SchedulerResult, cells: Sequence[int], horizon_us: float
+) -> Dict[str, object]:
+    """One node's scheduling outcome, keyed for the fleet rollup.
+
+    ``cells`` are the *global* basestation ids hosted on the node (the
+    scheduler itself saw node-local ids).  Utilization is the mean/max
+    per-core busy fraction over the common ``horizon_us`` so nodes are
+    comparable regardless of when their last subframe finished.
+    """
+    if horizon_us <= 0:
+        raise ValueError("horizon_us must be positive")
+    util = result.utilization(horizon_us)
+    values = [util[core] for core in sorted(util)]
+    return {
+        "cells": [int(c) for c in cells],
+        "subframes": len(result.records),
+        "misses": result.miss_count(),
+        "miss_rate": result.miss_rate(),
+        "cores": len(values),
+        "util_mean": sum(values) / len(values) if values else 0.0,
+        "util_max": max(values) if values else 0.0,
+    }
+
+
+def fleet_summary(
+    nodes: Sequence[Dict[str, object]], cores_per_node: int
+) -> Dict[str, object]:
+    """Aggregate per-node summaries into the fleet-level rollup.
+
+    The fleet miss rate weights every subframe equally (it is the
+    miss-count ratio over the whole fleet, not a mean of per-node
+    rates — nodes host different cell counts).
+    """
+    if cores_per_node < 1:
+        raise ValueError("cores_per_node must be >= 1")
+    subframes = sum(int(n["subframes"]) for n in nodes)
+    misses = sum(int(n["misses"]) for n in nodes)
+    util_means: List[float] = [float(n["util_mean"]) for n in nodes]
+    util_maxes: List[float] = [float(n["util_max"]) for n in nodes]
+    return {
+        "node_count": len(nodes),
+        "cores_total": len(nodes) * cores_per_node,
+        "subframes": subframes,
+        "misses": misses,
+        "miss_rate": misses / subframes if subframes else 0.0,
+        "util_mean": sum(util_means) / len(util_means) if util_means else 0.0,
+        "util_max": max(util_maxes) if util_maxes else 0.0,
+    }

@@ -6,6 +6,10 @@ Usage::
     python -m repro fig15 --scale 0.2
     python -m repro all --scale 0.2 --jobs 8
     python -m repro all --scale 1.0 --no-cache --json report.json
+    python -m repro run ext-fleet --fleet-cells 100 --jobs 4 --json out.json
+
+(``run <id>`` is an optional explicit form of the bare ``<id>``
+invocation; the two are interchangeable.)
 
 ``--scale 1.0`` reproduces the paper-sized runs (30 000 subframes per
 basestation for the scheduler experiments); smaller scales shrink the
@@ -40,6 +44,16 @@ traffic mix for class-aware experiments (``ext_mixed``): each entry is
 delay budgets and burst profiles come from the standard class table in
 :mod:`repro.workload.classes`.
 
+``--fleet-cells N`` / ``--nodes 8,12`` / ``--loads 0.8,1.0`` /
+``--schedulers rt-opex,global`` / ``--placer greedy|opt|both``
+parameterize the fleet placement sweep (``ext-fleet``): the fleet
+size, the cores-per-node axis, the load-multiplier axis, the
+per-node scheduler axis, and whether cells are placed by the greedy
+first-fit-decreasing heuristic, the exact MILP baseline, or both (the
+default, which also reports the greedy-vs-optimal node gap per grid
+point).  Like ``--classes``, the flags are rejected on experiments that
+do not declare the corresponding option.
+
 ``--profile`` wraps the run in cProfile and embeds the top-20
 cumulative hotspots into the ``--json`` telemetry report — the quick
 answer to "where did that run spend its time" without a separate
@@ -63,7 +77,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.experiments import get_experiment, list_experiments
 from repro.experiments.base import DEFAULT_SEED
@@ -77,7 +91,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'list'), 'all', or 'list'",
+        help="experiment id (see 'list'), 'all', 'list', or the literal 'run'",
+    )
+    parser.add_argument(
+        "experiment_id",
+        nargs="?",
+        default=None,
+        help="experiment id when the first positional is 'run'",
     )
     parser.add_argument(
         "--scale",
@@ -94,6 +114,54 @@ def build_parser() -> argparse.ArgumentParser:
             "mixed-service class spec, e.g. 'urllc:0.1,embb:0.6,mmtc:0.3' "
             "(shares sum to 1); applies to experiments that declare the "
             "option (ext_mixed)"
+        ),
+    )
+    parser.add_argument(
+        "--fleet-cells",
+        type=int,
+        default=None,
+        metavar="N",
+        dest="fleet_cells",
+        help=(
+            "fleet size for the placement sweep (ext-fleet); applies to "
+            "experiments that declare the option"
+        ),
+    )
+    parser.add_argument(
+        "--nodes",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "cores-per-node axis for the placement sweep, e.g. '8,12' "
+            "(ext-fleet only)"
+        ),
+    )
+    parser.add_argument(
+        "--loads",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "load-multiplier axis for the placement sweep, e.g. "
+            "'0.8,1.0' (ext-fleet only)"
+        ),
+    )
+    parser.add_argument(
+        "--schedulers",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "scheduler axis for the placement sweep, e.g. "
+            "'rt-opex,global' (ext-fleet only)"
+        ),
+    )
+    parser.add_argument(
+        "--placer",
+        choices=("greedy", "opt", "both"),
+        default=None,
+        help=(
+            "placement algorithm for the fleet sweep: greedy FFD, the "
+            "MILP optimum, or both with the gap reported (default both; "
+            "ext-fleet only)"
         ),
     )
     parser.add_argument(
@@ -183,8 +251,114 @@ def _print_result(result: ExperimentResult) -> None:
     print()
 
 
+def _validate_classes(spec: str) -> None:
+    from repro.workload.classes import parse_class_spec
+
+    parse_class_spec(spec)
+
+
+def _validate_fleet_cells(spec: str) -> None:
+    from repro.experiments.ext_fleet import parse_fleet_cells
+
+    parse_fleet_cells(spec)
+
+
+def _validate_nodes(spec: str) -> None:
+    from repro.experiments.ext_fleet import parse_nodes
+
+    parse_nodes(spec)
+
+
+def _validate_loads(spec: str) -> None:
+    from repro.experiments.ext_fleet import parse_loads
+
+    parse_loads(spec)
+
+
+def _validate_schedulers(spec: str) -> None:
+    from repro.experiments.ext_fleet import parse_schedulers
+
+    parse_schedulers(spec)
+
+
+def _validate_placer(spec: str) -> None:
+    from repro.experiments.ext_fleet import parse_placer
+
+    parse_placer(spec)
+
+
+#: CLI flag -> (experiment option name, validator, hint for the
+#: "not declared by this experiment" usage error).
+_OPTION_FLAGS = (
+    ("--classes", "classes", _validate_classes,
+     "only class-aware experiments like ext_mixed do"),
+    ("--fleet-cells", "fleet_cells", _validate_fleet_cells,
+     "only the fleet placement sweep ext-fleet does"),
+    ("--nodes", "nodes", _validate_nodes,
+     "only the fleet placement sweep ext-fleet does"),
+    ("--loads", "loads", _validate_loads,
+     "only the fleet placement sweep ext-fleet does"),
+    ("--schedulers", "schedulers", _validate_schedulers,
+     "only the fleet placement sweep ext-fleet does"),
+    ("--placer", "placer", _validate_placer,
+     "only the fleet placement sweep ext-fleet does"),
+)
+
+
+def _gather_options(args) -> Dict[str, str]:
+    """Collect option-style flags into the runner's options mapping.
+
+    Raises ``ValueError`` with a printable message for an invalid value
+    or a flag the selected experiment does not declare.
+    """
+    values = {
+        "--classes": args.classes,
+        "--fleet-cells": (
+            None if args.fleet_cells is None else str(args.fleet_cells)
+        ),
+        "--nodes": args.nodes,
+        "--loads": args.loads,
+        "--schedulers": args.schedulers,
+        "--placer": args.placer,
+    }
+    options: Dict[str, str] = {}
+    for flag, option, validate, hint in _OPTION_FLAGS:
+        value = values[flag]
+        if value is None:
+            continue
+        try:
+            validate(value)
+        except ValueError as exc:
+            raise ValueError(f"error: invalid {flag} spec: {exc}")
+        if args.experiment != "all":
+            declared = get_experiment(args.experiment).options
+            if option not in declared:
+                raise ValueError(
+                    f"error: experiment {args.experiment!r} does not take "
+                    f"{flag} ({hint})"
+                )
+        options[option] = value
+    return options
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+
+    if args.experiment == "run":
+        if args.experiment_id is None:
+            print(
+                "error: 'run' needs an experiment id, e.g. 'run ext-fleet'",
+                file=sys.stderr,
+            )
+            return 2
+        args.experiment = args.experiment_id
+    elif args.experiment_id is not None:
+        print(
+            f"error: unexpected extra argument {args.experiment_id!r} "
+            "(only the 'run <id>' form takes two positionals)",
+            file=sys.stderr,
+        )
+        return 2
 
     if args.experiment == "list":
         _print_listing()
@@ -217,25 +391,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 2
 
-    options = {}
-    if args.classes is not None:
-        from repro.workload.classes import parse_class_spec
-
-        try:
-            parse_class_spec(args.classes)
-        except ValueError as exc:
-            print(f"error: invalid --classes spec: {exc}", file=sys.stderr)
-            return 2
-        options["classes"] = args.classes
-        if args.experiment != "all":
-            declared = get_experiment(args.experiment).options
-            if "classes" not in declared:
-                print(
-                    f"error: experiment {args.experiment!r} does not take "
-                    "--classes (only class-aware experiments like ext_mixed do)",
-                    file=sys.stderr,
-                )
-                return 2
+    try:
+        options = _gather_options(args)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
 
     trace_kinds = None
     if args.trace_kinds is not None:

@@ -15,6 +15,7 @@ from repro.experiments.base import (
 
 # Import for registration side effects.
 from repro.experiments import (  # noqa: F401  (registration imports)
+    ext_fleet,
     ext_harq,
     ext_mixed,
     ext_multiuser,

@@ -9,18 +9,32 @@ cites: statistical multiplexing of fluctuating cells saves on the order
 of 22% of compute relative to per-basestation peak provisioning [15].
 """
 
+from repro.placement.optimal import (
+    OptimalPlacement,
+    optimal_place_by_weights,
+    optimal_placement,
+    placement_gap,
+)
 from repro.placement.pool import (
     NodePlacement,
+    demand_weights,
     peak_cores_required,
     place_basestations,
+    place_by_weights,
     pooled_cores_required,
     pooling_savings,
 )
 
 __all__ = [
     "NodePlacement",
+    "OptimalPlacement",
+    "demand_weights",
+    "optimal_place_by_weights",
+    "optimal_placement",
     "peak_cores_required",
     "place_basestations",
+    "place_by_weights",
+    "placement_gap",
     "pooled_cores_required",
     "pooling_savings",
 ]

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Mapping, Sequence
 
 import numpy as np
 
@@ -83,6 +83,26 @@ def pooling_savings(jobs: Sequence[SubframeJob], quantile: float = 0.999) -> flo
     return 1.0 - pooled / peak
 
 
+def demand_weights(
+    jobs: Sequence[SubframeJob], quantile: float = 0.999
+) -> Dict[int, float]:
+    """Per-basestation placement weight: the ``quantile`` of its demand.
+
+    This is the additive per-cell weight both placers (greedy FFD and
+    the MILP baseline) pack against a node's core budget.  Note the
+    conservatism: the sum of per-cell quantiles overestimates the
+    quantile of the summed demand (cells' fluctuations are rarely
+    simultaneous), so weight-packed nodes are provisioned *above* their
+    pooled requirement — the price of reducing placement to bin packing.
+    """
+    _check_quantile(quantile)
+    per_bs = _utilization_matrix(jobs)
+    return {
+        bs: float(np.quantile(demand, quantile))
+        for bs, demand in sorted(per_bs.items())
+    }
+
+
 @dataclass(frozen=True)
 class NodePlacement:
     """Assignment of basestations to compute nodes."""
@@ -92,6 +112,41 @@ class NodePlacement:
 
     def basestations_on(self, node: int) -> List[int]:
         return sorted(bs for bs, n in self.node_of.items() if n == node)
+
+
+def place_by_weights(
+    weights: Mapping[int, float], cores_per_node: float
+) -> NodePlacement:
+    """First-fit-decreasing bin packing of explicit per-cell weights.
+
+    Cells are visited heaviest-first with ties broken by basestation id
+    — *not* by mapping insertion order, which would make the placement
+    depend on the order the caller enumerated its jobs in (a
+    nondeterminism `repro.check` exists to forbid).
+    """
+    if cores_per_node <= 0:
+        raise ValueError("cores_per_node must be positive")
+    if not weights:
+        return NodePlacement(node_of={}, node_count=0)
+    for bs, weight in sorted(weights.items()):
+        if weight > cores_per_node:
+            raise ValueError(
+                f"basestation {bs} needs {weight:.2f} cores, node has {cores_per_node}"
+            )
+    node_of: Dict[int, int] = {}
+    node_load: List[float] = []
+    for bs in sorted(weights, key=lambda b: (-weights[b], b)):
+        placed = False
+        for node, load in enumerate(node_load):
+            if load + weights[bs] <= cores_per_node:
+                node_of[bs] = node
+                node_load[node] += weights[bs]
+                placed = True
+                break
+        if not placed:
+            node_of[bs] = len(node_load)
+            node_load.append(weights[bs])
+    return NodePlacement(node_of=node_of, node_count=len(node_load))
 
 
 def place_basestations(
@@ -108,30 +163,7 @@ def place_basestations(
     """
     if cores_per_node < 1:
         raise ValueError("cores_per_node must be >= 1")
-    _check_quantile(quantile)
-    per_bs = _utilization_matrix(jobs)
-    weights = {
-        bs: float(np.quantile(demand, quantile)) for bs, demand in per_bs.items()
-    }
-    for bs, weight in weights.items():
-        if weight > cores_per_node:
-            raise ValueError(
-                f"basestation {bs} needs {weight:.2f} cores, node has {cores_per_node}"
-            )
-    node_of: Dict[int, int] = {}
-    node_load: List[float] = []
-    for bs in sorted(weights, key=lambda b: -weights[b]):
-        placed = False
-        for node, load in enumerate(node_load):
-            if load + weights[bs] <= cores_per_node:
-                node_of[bs] = node
-                node_load[node] += weights[bs]
-                placed = True
-                break
-        if not placed:
-            node_of[bs] = len(node_load)
-            node_load.append(weights[bs])
-    return NodePlacement(node_of=node_of, node_count=len(node_load))
+    return place_by_weights(demand_weights(jobs, quantile), cores_per_node)
 
 
 def _check_quantile(quantile: float) -> None:

@@ -270,6 +270,7 @@ class ExperimentRunner:
         self._options = dict(options or {})
         report = RunReport(
             jobs=self.jobs, scale=scale, seed=seed,
+            options=dict(self._options),
             cache_enabled=self.cache is not None,
         )
         hits0, misses0 = (

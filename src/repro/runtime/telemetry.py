@@ -65,6 +65,11 @@ class RunReport:
     jobs: int
     scale: float
     seed: int
+    #: Experiment options of the run (e.g. fleet grid parameters); they
+    #: are part of every whole-run/unit cache key, so exporting them
+    #: makes a ``--json`` report self-describing: the artifact names the
+    #: exact sweep it measured.
+    options: Dict[str, str] = field(default_factory=dict)
     wall_s: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
@@ -151,6 +156,7 @@ class RunReport:
             "jobs": self.jobs,
             "scale": self.scale,
             "seed": self.seed,
+            "options": dict(self.options),
             "wall_s": self.wall_s,
             "compute_s": self.compute_seconds(),
             "events_processed": self.events_processed(),

@@ -1,0 +1,153 @@
+"""Structure, placement, and decomposition tests for the fleet sweep."""
+
+import json
+
+import pytest
+
+from repro.experiments import get_experiment, run_experiment
+from repro.experiments.ext_fleet import (
+    MIN_PARTITIONED_CORES,
+    parse_fleet_cells,
+    parse_loads,
+    parse_nodes,
+    parse_placer,
+    parse_schedulers,
+)
+from repro.runtime import ExperimentRunner
+from repro.runtime.engine import outputs_match
+
+SCALE = 0.02
+SEED = 7
+OPTIONS = {
+    "fleet_cells": "8",
+    "nodes": "6",
+    "loads": "0.8",
+    "schedulers": "rt-opex,global",
+    "placer": "both",
+}
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return run_experiment("ext-fleet", scale=SCALE, seed=SEED, options=OPTIONS)
+
+
+class TestExtFleet:
+    def test_grid_covers_the_cross_product(self, fleet):
+        grid = fleet.data["grid"]
+        assert len(grid) == 4  # 1 node size x 1 load x 2 schedulers x 2 placers
+        combos = {(g["scheduler"], g["placer"]) for g in grid}
+        assert combos == {
+            ("rt-opex", "greedy"),
+            ("rt-opex", "opt"),
+            ("global", "greedy"),
+            ("global", "opt"),
+        }
+
+    def test_rollups_are_sane(self, fleet):
+        for point in fleet.data["grid"]:
+            assert point["node_count"] >= 1
+            assert point["cores_total"] == point["node_count"] * 6
+            assert 0.0 <= point["miss_rate"] <= 1.0
+            assert point["subframes"] == 8 * point["num_subframes"]
+            assert 0.0 <= point["util_mean"] <= 1.0 + 1e-9
+
+    def test_every_cell_lands_on_exactly_one_node(self, fleet):
+        for point in fleet.data["grid"]:
+            cells = sorted(c for node in point["nodes"] for c in node["cells"])
+            assert cells == list(range(8))
+
+    def test_gap_reported_per_triple(self, fleet):
+        gaps = fleet.data["gaps"]
+        assert len(gaps) == 2  # one per (cores, load, scheduler) triple
+        assert all(gap >= 0.0 for gap in gaps.values())
+
+    def test_milp_never_beaten_by_greedy(self, fleet):
+        by_key = {(g["scheduler"], g["placer"]): g for g in fleet.data["grid"]}
+        for scheduler in ("rt-opex", "global"):
+            greedy = by_key[(scheduler, "greedy")]
+            opt = by_key[(scheduler, "opt")]
+            assert opt["node_count"] <= greedy["node_count"]
+            assert opt["solver"]["optimal"]
+
+    def test_partitioned_core_floor(self, fleet):
+        # rt-opex cells pack at >= MIN_PARTITIONED_CORES integral cores,
+        # so no node hosts more than cores_per_node // 2 cells and every
+        # cell gets at least two dedicated cores.
+        for point in fleet.data["grid"]:
+            if point["scheduler"] != "rt-opex":
+                continue
+            assert point["weights_integral"]
+            assert point["weight_sum"] >= MIN_PARTITIONED_CORES * 8
+            for node in point["nodes"]:
+                assert len(node["cells"]) <= 6 // MIN_PARTITIONED_CORES
+
+    def test_shared_queue_packs_fractionally(self, fleet):
+        for point in fleet.data["grid"]:
+            if point["scheduler"] == "global":
+                assert not point["weights_integral"]
+
+    def test_renders_gap_column(self, fleet):
+        assert "gap vs opt" in fleet.text
+        assert "rt-opex" in fleet.text
+
+
+class TestDecomposition:
+    def test_options_declared(self):
+        assert get_experiment("ext-fleet").options == (
+            "fleet_cells",
+            "nodes",
+            "loads",
+            "schedulers",
+            "placer",
+        )
+
+    def test_serial_matches_parallel_byte_for_byte(self):
+        serial, _ = ExperimentRunner(jobs=1).run(
+            ["ext-fleet"], scale=SCALE, seed=SEED, options=OPTIONS
+        )
+        parallel, _ = ExperimentRunner(jobs=2).run(
+            ["ext-fleet"], scale=SCALE, seed=SEED, options=OPTIONS
+        )
+        assert serial[0].ok and parallel[0].ok
+        a, b = serial[0].output, parallel[0].output
+        assert outputs_match(a, b)
+        assert a.text == b.text
+        assert json.dumps(a.data, sort_keys=True) == json.dumps(b.data, sort_keys=True)
+
+    def test_sweep_output_matches_plain_run(self, fleet):
+        serial, _ = ExperimentRunner(jobs=1).run(
+            ["ext-fleet"], scale=SCALE, seed=SEED, options=OPTIONS
+        )
+        assert serial[0].ok
+        assert serial[0].output.text == fleet.text
+
+
+class TestOptionParsing:
+    def test_fleet_cells_floor(self):
+        assert parse_fleet_cells("100") == 100
+        with pytest.raises(ValueError):
+            parse_fleet_cells("0")
+
+    def test_nodes_reject_duplicates_and_zeros(self):
+        assert parse_nodes("6,8") == [6, 8]
+        with pytest.raises(ValueError):
+            parse_nodes("6,6")
+        with pytest.raises(ValueError):
+            parse_nodes("0")
+
+    def test_loads_bounded(self):
+        assert parse_loads("0.8,1.0") == [0.8, 1.0]
+        with pytest.raises(ValueError):
+            parse_loads("2.5")
+
+    def test_schedulers_known(self):
+        assert parse_schedulers("rt-opex,global") == ["rt-opex", "global"]
+        with pytest.raises(ValueError):
+            parse_schedulers("bogus")
+
+    def test_placer_expands_both(self):
+        assert parse_placer("both") == ["greedy", "opt"]
+        assert parse_placer("opt") == ["opt"]
+        with pytest.raises(ValueError):
+            parse_placer("bogus")

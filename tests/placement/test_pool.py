@@ -3,8 +3,10 @@
 import pytest
 
 from repro.placement import (
+    demand_weights,
     peak_cores_required,
     place_basestations,
+    place_by_weights,
     pooled_cores_required,
     pooling_savings,
 )
@@ -121,3 +123,32 @@ class TestPlacement:
     def test_invalid_cores_per_node(self, fleet_jobs):
         with pytest.raises(ValueError):
             place_basestations(fleet_jobs, cores_per_node=0)
+
+
+class TestTieBreak:
+    def test_equal_weights_tie_break_by_bs_id(self):
+        # Regression: the FFD sort keyed only on weight, so equal-weight
+        # cells were placed in dict insertion order and the placement
+        # depended on how the caller happened to assemble the weights.
+        placement = place_by_weights({5: 1.0, 1: 1.0, 3: 1.0}, cores_per_node=2.0)
+        assert placement.node_of == {1: 0, 3: 0, 5: 1}
+
+    def test_placement_invariant_under_weight_insertion_order(self):
+        weights = {0: 1.5, 1: 1.5, 2: 1.5, 3: 0.5, 4: 0.5}
+        reversed_weights = dict(sorted(weights.items(), reverse=True))
+        a = place_by_weights(weights, cores_per_node=2.0)
+        b = place_by_weights(reversed_weights, cores_per_node=2.0)
+        assert a.node_of == b.node_of
+
+    def test_placement_invariant_under_job_order(self, fleet_jobs):
+        # Permuting the job list permutes the weight-dict insertion
+        # order; the placement must not care.
+        shuffled = list(fleet_jobs)[::-1]
+        a = place_basestations(fleet_jobs, cores_per_node=3, quantile=0.99)
+        b = place_basestations(shuffled, cores_per_node=3, quantile=0.99)
+        assert a.node_of == b.node_of
+
+    def test_demand_weights_match_job_order_permutation(self, fleet_jobs):
+        a = demand_weights(fleet_jobs, 0.99)
+        b = demand_weights(list(fleet_jobs)[::-1], 0.99)
+        assert a == b

@@ -141,6 +141,89 @@ class TestCli:
         assert "urllc:0.5,mmtc:0.5" in out
         assert "urllc miss" in out and "mmtc miss" in out
 
+    def test_run_form_is_equivalent_to_bare_experiment(self, capsys, cache_args):
+        assert main(["run", "fig7", "--scale", "0.01"] + cache_args) == 0
+        assert "finished in" in capsys.readouterr().out
+
+    def test_run_form_requires_an_experiment_id(self, capsys):
+        assert main(["run"]) == 2
+        assert "experiment id" in capsys.readouterr().err
+
+    def test_stray_second_positional_rejected(self, capsys):
+        assert main(["fig7", "fig4", "--no-cache"]) == 2
+        assert "unexpected extra argument" in capsys.readouterr().err
+
+    def test_fleet_flags_reach_the_experiment(self, capsys):
+        assert main(
+            [
+                "run", "ext-fleet", "--scale", "0.02", "--no-cache",
+                "--fleet-cells", "8", "--nodes", "6", "--placer", "greedy",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "gap vs opt" in out
+        assert "8 cells" in out
+
+    def test_loads_and_schedulers_flags_reach_the_experiment(self, capsys):
+        assert main(
+            [
+                "run", "ext-fleet", "--scale", "0.02", "--no-cache",
+                "--fleet-cells", "8", "--nodes", "6", "--loads", "0.9",
+                "--schedulers", "global", "--placer", "greedy",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "| 0.9  | global" in out
+        assert "rt-opex" not in out  # scheduler axis really narrowed
+
+    def test_invalid_loads_spec_is_a_usage_error(self, capsys):
+        assert main(
+            ["run", "ext-fleet", "--no-cache", "--loads", "9.9"]
+        ) == 2
+        assert "invalid --loads spec" in capsys.readouterr().err
+
+    def test_invalid_schedulers_spec_is_a_usage_error(self, capsys):
+        assert main(
+            ["run", "ext-fleet", "--no-cache", "--schedulers", "bogus"]
+        ) == 2
+        assert "invalid --schedulers spec" in capsys.readouterr().err
+
+    def test_invalid_nodes_spec_is_a_usage_error(self, capsys):
+        assert main(
+            ["run", "ext-fleet", "--no-cache", "--nodes", "6,6"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "invalid --nodes spec" in err
+
+    def test_invalid_placer_choice_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "ext-fleet", "--no-cache", "--placer", "ilp"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_fleet_flags_on_non_fleet_experiment_rejected(self, capsys):
+        assert main(["fig4", "--no-cache", "--fleet-cells", "8"]) == 2
+        assert "does not take --fleet-cells" in capsys.readouterr().err
+
+    def test_options_exported_in_json_report(self, capsys, tmp_path):
+        report_path = tmp_path / "report.json"
+        assert main(
+            [
+                "run", "ext-fleet", "--scale", "0.02", "--no-cache",
+                "--fleet-cells", "8", "--nodes", "6", "--placer", "greedy",
+                "--json", str(report_path),
+            ]
+        ) == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["options"] == {
+            "fleet_cells": "8", "nodes": "6", "placer": "greedy"
+        }
+
+    def test_optionless_report_has_empty_options(self, capsys, tmp_path):
+        report_path = tmp_path / "report.json"
+        assert main(["fig7", "--scale", "0.01", "--no-cache",
+                     "--json", str(report_path)]) == 0
+        assert json.loads(report_path.read_text())["options"] == {}
+
     def test_failing_driver_reported_and_exits_nonzero(self, capsys):
         from repro.experiments.base import _REGISTRY, register
 
