@@ -4,22 +4,42 @@ Two halves, one goal — make the determinism and causality claims the
 results rest on mechanically checkable:
 
 * :mod:`repro.check.lint` — an AST lint (``python -m repro.check lint``)
-  for the hazard classes in :mod:`repro.check.rules` (wall clocks,
-  global RNG, unordered iteration, microsecond unit mixing, mutable
-  defaults).
+  for the per-file hazard classes in :mod:`repro.check.rules` (wall
+  clocks, global RNG, unordered iteration, microsecond unit mixing,
+  mutable defaults).
+* :mod:`repro.check.analyze` — whole-program flow passes
+  (``python -m repro.check analyze``) over the project graph built by
+  :mod:`repro.check.graph`: cache-key completeness, pool-shared state,
+  flow-sensitive unit inference, and trace-emit conformance
+  (RTX007–RTX010).
 * :mod:`repro.check.sanitizer` — an online virtual-time sanitizer for
   the event streams the schedulers emit (``--sanitize`` on the CLI,
   ``RTOPEX_SANITIZE=1`` for tests).
 """
 
+from repro.check.analyze import (
+    analyze_modules,
+    analyze_paths,
+)
+from repro.check.graph import ProjectGraph, build_graph
 from repro.check.lint import (
     Finding,
-    iter_python_files,
     lint_file,
+    lint_module,
+    lint_modules,
     lint_paths,
     lint_source,
 )
+from repro.check.parse import (
+    ParsedModule,
+    iter_python_files,
+    load_modules,
+    parse_file,
+    parse_source,
+)
 from repro.check.rules import (
+    ANALYZE_RULE_IDS,
+    LINT_RULE_IDS,
     RULES,
     RULES_BY_ID,
     Rule,
@@ -39,7 +59,11 @@ from repro.check.sanitizer import (
 
 __all__ = [
     "ALL_CHECKS",
+    "ANALYZE_RULE_IDS",
     "Finding",
+    "LINT_RULE_IDS",
+    "ParsedModule",
+    "ProjectGraph",
     "RULES",
     "RULES_BY_ID",
     "Rule",
@@ -48,12 +72,20 @@ __all__ = [
     "SanitizingSink",
     "SanitizingTrace",
     "TraceSanitizer",
+    "analyze_modules",
+    "analyze_paths",
+    "build_graph",
     "checks_for_scheduler",
     "explain",
     "iter_python_files",
     "lint_file",
+    "lint_module",
+    "lint_modules",
     "lint_paths",
     "lint_source",
+    "load_modules",
+    "parse_file",
+    "parse_source",
     "rule_table",
     "sanitize_enabled",
 ]

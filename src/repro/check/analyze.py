@@ -1,0 +1,1184 @@
+"""Whole-program flow analysis: ``python -m repro.check analyze``.
+
+Four passes over the :mod:`repro.check.graph` project graph, each one a
+rule (RTX007–RTX010) targeting a *cross-module* determinism hazard the
+per-file lint cannot see:
+
+* **RTX007 cache-key completeness** — every option an experiment
+  declares (``register(options=...)`` / the CLI ``_OPTION_FLAGS``
+  table) must flow into ``WorkUnit.params``, because params are the
+  result-cache key: an option that changes results without changing the
+  key serves stale cache hits.  Traced by tainting reads of the
+  ``options`` mapping inside ``SweepSpec.units`` and following
+  assignments, loops, and same-module helper calls into the params
+  dict.
+* **RTX008 parallel shared-state** — module-level mutables (and
+  default-argument aliases) mutated inside any function reachable from
+  a process-pool submission.  Reachability includes dynamic dispatch
+  through the experiment registry (drivers, sweep callbacks), so a
+  driver that memoizes into a module dict is caught even though no
+  textual call chain reaches it.
+* **RTX009 unit flow** — flow-sensitive time-unit inference: µs/ms/s
+  "types" seeded from name suffixes propagate through assignments,
+  arithmetic (with explicit 1e3/1e6 conversions recognized), and
+  resolved call/return boundaries; mixing two different known units in
+  one expression, assignment, argument, or return is a finding.
+* **RTX010 trace-emit conformance** — every trace emit site is checked
+  against the typed vocabulary in :mod:`repro.obs.events`: event kinds
+  must be members of ``EVENT_KINDS`` and ``args`` keys members of the
+  per-kind ``EVENT_ARG_FIELDS`` set; emit-helper calls must use the
+  helper's real signature.
+
+Findings render exactly like lint findings (``path:line:col RTXnnn``),
+honour inline ``# repro-check: allow`` waivers, and can be suppressed
+via a committed baseline file (``--baseline``, default
+``.repro-check-baseline.json``) so the gate is adoptable on a tree with
+known accepted findings.  ``--format json`` emits a machine-readable
+report for CI artifacts.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.check.graph import (
+    FunctionInfo,
+    ProjectGraph,
+    build_graph,
+    dotted_name,
+)
+from repro.check.lint import Finding, apply_waivers
+from repro.check.parse import ParsedModule, PathLike, load_modules
+from repro.check.rules import (
+    CACHE_KEY_COMPLETENESS,
+    PARALLEL_SHARED_STATE,
+    TRACE_EMIT_CONFORMANCE,
+    UNIT_FLOW,
+)
+
+#: Default committed baseline file, looked up relative to the cwd.
+DEFAULT_BASELINE = ".repro-check-baseline.json"
+
+# -- shared context -----------------------------------------------------------
+
+
+@dataclass
+class AnalysisContext:
+    modules: List[ParsedModule]
+    graph: ProjectGraph
+    findings: List[Finding] = field(default_factory=list)
+
+    def module_of(self, name: str) -> Optional[ParsedModule]:
+        return self.graph.modules.get(name)
+
+    def flag(self, module: ParsedModule, node: ast.AST, rule, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=module.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                rule=rule,
+                message=message,
+            )
+        )
+
+
+# -- RTX007: cache-key completeness ------------------------------------------
+
+
+class _OptionTaint:
+    """Forward taint of ``options.get("name")`` reads through one
+    function (and same-module helpers it passes tainted values to)."""
+
+    def __init__(self, ctx: AnalysisContext, graph: ProjectGraph):
+        self.ctx = ctx
+        self.graph = graph
+        #: option names whose taint reached a WorkUnit params value.
+        self.flowed: Set[str] = set()
+
+    def run(self, info: FunctionInfo, options_param: str) -> Set[str]:
+        seeds = {options_param: frozenset({"*options*"})}
+        self._analyze(info, seeds, depth=0, seen=set())
+        return self.flowed
+
+    # The taint domain: each variable maps to the set of option names it
+    # (transitively) derives from.  ``"*options*"`` marks the mapping
+    # itself, whose .get()/[] reads mint concrete option taints.
+
+    def _analyze(
+        self,
+        info: FunctionInfo,
+        param_taint: Mapping[str, FrozenSet[str]],
+        depth: int,
+        seen: Set[str],
+    ) -> None:
+        if depth > 5 or info.qualname in seen:
+            return
+        seen = seen | {info.qualname}
+        env: Dict[str, FrozenSet[str]] = dict(param_taint)
+        body = getattr(info.node, "body", [])
+        # Two passes reach taint through loops (later stmts feeding
+        # earlier loop targets); the domain is finite so this converges.
+        for _ in range(2):
+            for stmt in body:
+                self._stmt(stmt, env, info, depth, seen)
+
+    def _stmt(self, stmt, env, info, depth, seen) -> None:
+        if isinstance(stmt, ast.Assign):
+            taint = self._expr(stmt.value, env, info, depth, seen)
+            for target in stmt.targets:
+                self._bind(target, taint, env)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._bind(stmt.target, self._expr(stmt.value, env, info, depth, seen), env)
+        elif isinstance(stmt, ast.AugAssign):
+            taint = self._expr(stmt.value, env, info, depth, seen)
+            if isinstance(stmt.target, ast.Name):
+                env[stmt.target.id] = env.get(stmt.target.id, frozenset()) | taint
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._bind(stmt.target, self._expr(stmt.iter, env, info, depth, seen), env)
+            for sub in stmt.body + stmt.orelse:
+                self._stmt(sub, env, info, depth, seen)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self._expr(stmt.test, env, info, depth, seen)
+            for sub in stmt.body + stmt.orelse:
+                self._stmt(sub, env, info, depth, seen)
+        elif isinstance(stmt, ast.With):
+            for sub in stmt.body:
+                self._stmt(sub, env, info, depth, seen)
+        elif isinstance(stmt, ast.Try):
+            for sub in stmt.body + stmt.orelse + stmt.finalbody:
+                self._stmt(sub, env, info, depth, seen)
+            for handler in stmt.handlers:
+                for sub in handler.body:
+                    self._stmt(sub, env, info, depth, seen)
+        elif isinstance(stmt, (ast.Return, ast.Expr)):
+            if stmt.value is not None:
+                self._expr(stmt.value, env, info, depth, seen)
+
+    def _bind(self, target: ast.expr, taint: FrozenSet[str], env) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = taint
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, taint, env)
+
+    def _expr(self, node: ast.expr, env, info, depth, seen) -> FrozenSet[str]:
+        if isinstance(node, ast.Name):
+            return env.get(node.id, frozenset())
+        if isinstance(node, ast.Subscript):
+            base = self._expr(node.value, env, info, depth, seen)
+            if "*options*" in base:
+                key = node.slice
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    return frozenset({key.value})
+            index = (
+                self._expr(node.slice, env, info, depth, seen)
+                if isinstance(node.slice, ast.expr) else frozenset()
+            )
+            return base | index
+        if isinstance(node, ast.Call):
+            return self._call(node, env, info, depth, seen)
+        if isinstance(node, ast.Attribute):
+            return self._expr(node.value, env, info, depth, seen)
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            # Comprehension targets bind the iterable's taint, so
+            # `[WorkUnit(params={"a": v}) for v in values]` flows.
+            local = dict(env)
+            for comp in node.generators:
+                iter_taint = self._expr(comp.iter, local, info, depth, seen)
+                self._bind(comp.target, iter_taint, local)
+                for cond in comp.ifs:
+                    self._expr(cond, local, info, depth, seen)
+            if isinstance(node, ast.DictComp):
+                return self._expr(node.key, local, info, depth, seen) | self._expr(
+                    node.value, local, info, depth, seen
+                )
+            return self._expr(node.elt, local, info, depth, seen)
+        taint: FrozenSet[str] = frozenset()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                taint = taint | self._expr(child, env, info, depth, seen)
+        return taint
+
+    def _call(self, node: ast.Call, env, info, depth, seen) -> FrozenSet[str]:
+        # options.get("name"[, default]) mints the concrete taint.
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "get":
+            base = self._expr(node.func.value, env, info, depth, seen)
+            if "*options*" in base and node.args:
+                key = node.args[0]
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    extra = (
+                        self._expr(node.args[1], env, info, depth, seen)
+                        if len(node.args) > 1 else frozenset()
+                    )
+                    return frozenset({key.value}) | extra
+
+        arg_taints = [self._expr(arg, env, info, depth, seen) for arg in node.args]
+        kw_taints = {
+            kw.arg: self._expr(kw.value, env, info, depth, seen)
+            for kw in node.keywords if kw.arg is not None
+        }
+        combined = frozenset().union(*arg_taints, *kw_taints.values()) if (
+            arg_taints or kw_taints
+        ) else frozenset()
+
+        name = dotted_name(node.func)
+        if name is not None:
+            # WorkUnit(...): record which option taints reach the cache
+            # key — the params dict values, and the unit key string
+            # (cache.key hashes both).
+            if name.split(".")[-1] == "WorkUnit":
+                params_value = kw_taints.get("params")
+                params_node = next(
+                    (kw.value for kw in node.keywords if kw.arg == "params"), None
+                )
+                if params_node is None and len(node.args) >= 3:
+                    params_node = node.args[2]
+                    params_value = arg_taints[2] if len(arg_taints) > 2 else None
+                if params_node is not None:
+                    if isinstance(params_node, ast.Dict):
+                        for value in params_node.values:
+                            self.flowed |= self._expr(value, env, info, depth, seen)
+                    elif params_value:
+                        self.flowed |= params_value
+                key_taint = kw_taints.get("key")
+                if key_taint is None and len(node.args) >= 2:
+                    key_taint = arg_taints[1]
+                if key_taint:
+                    self.flowed |= key_taint
+                return combined
+            # Same-module helper: push taint through its parameters.
+            callee = self.graph.resolve_function(info.module, name)
+            if callee is not None and callee.module == info.module and combined:
+                callee_taint: Dict[str, FrozenSet[str]] = {}
+                for param, taint in zip(callee.params, arg_taints):
+                    if taint:
+                        callee_taint[param] = taint
+                for param, taint in kw_taints.items():
+                    if taint and param in callee.all_params:
+                        callee_taint[param] = taint
+                if callee_taint:
+                    self._analyze(callee, callee_taint, depth + 1, seen)
+        return combined
+
+
+def check_cache_keys(ctx: AnalysisContext) -> None:
+    graph = ctx.graph
+    rule = CACHE_KEY_COMPLETENESS
+
+    declared_options: Set[str] = set()
+    for exp_id in sorted(graph.experiments):
+        exp = graph.experiments[exp_id]
+        declared_options.update(exp.options)
+        if not exp.options:
+            continue
+        sweep = graph.sweeps.get(exp_id)
+        if sweep is None:
+            # No decomposition: the whole-run cache key carries the full
+            # options mapping (engine hashes it verbatim) — safe.
+            continue
+        module = ctx.module_of(exp.module)
+        sweep_module = ctx.module_of(sweep.module)
+        if module is None:
+            continue
+        register_node = _node_at(module, exp.lineno, exp.col)
+        if not sweep.takes_options:
+            target = sweep_module if sweep_module is not None else module
+            ctx.flag(
+                target,
+                _node_at(target, sweep.lineno, sweep.col),
+                rule,
+                f"experiment '{exp_id}' declares options "
+                f"{sorted(exp.options)} but its SweepSpec has "
+                "takes_options=False: units() never sees them, so they "
+                "cannot reach WorkUnit.params (the cache key) and "
+                "cached sweep units go stale across option values",
+            )
+            continue
+        units_info = graph.functions.get(sweep.units or "")
+        if units_info is None:
+            continue
+        options_param = _options_param(units_info)
+        if options_param is None:
+            continue
+        flowed = _OptionTaint(ctx, graph).run(units_info, options_param)
+        for option in sorted(set(exp.options)):
+            if option not in flowed:
+                ctx.flag(
+                    module,
+                    register_node,
+                    rule,
+                    f"option '{option}' of experiment '{exp_id}' never "
+                    f"flows into WorkUnit.params in "
+                    f"{sweep.units.split(':')[-1] if sweep.units else 'units()'}"
+                    " — the result-cache key will not distinguish runs "
+                    "with different values",
+                )
+
+    # CLI flag table cross-checks (when a _OPTION_FLAGS table is in scope).
+    if graph.option_flags:
+        flagged = {of.option for of in graph.option_flags}
+        for of in graph.option_flags:
+            if of.option not in declared_options:
+                module = ctx.module_of(of.module)
+                if module is not None:
+                    ctx.flag(
+                        module,
+                        _node_at(module, of.lineno, of.col),
+                        rule,
+                        f"CLI flag {of.flag} maps to option '{of.option}' "
+                        "which no registered experiment declares — the "
+                        "flag is dead (or the declaration drifted)",
+                    )
+        for exp_id in sorted(graph.experiments):
+            exp = graph.experiments[exp_id]
+            module = ctx.module_of(exp.module)
+            if module is None:
+                continue
+            for option in sorted(set(exp.options)):
+                if option not in flagged:
+                    ctx.flag(
+                        module,
+                        _node_at(module, exp.lineno, exp.col),
+                        rule,
+                        f"option '{option}' of experiment '{exp_id}' has "
+                        "no _OPTION_FLAGS row: it cannot be set from the "
+                        "CLI, so the declared knob is unreachable",
+                    )
+
+
+def _options_param(info: FunctionInfo) -> Optional[str]:
+    if "options" in info.all_params:
+        return "options"
+    if len(info.params) >= 3:
+        return info.params[2]
+    return None
+
+
+def _node_at(module: ParsedModule, lineno: int, col: int):
+    """A tiny location carrier for findings anchored at stored positions."""
+
+    class _Loc:
+        pass
+
+    loc = _Loc()
+    loc.lineno = lineno
+    loc.col_offset = col
+    return loc
+
+
+# -- RTX008: parallel shared-state -------------------------------------------
+
+#: Method names that mutate their receiver in place.
+_MUTATOR_METHODS = {
+    "append", "extend", "insert", "add", "update", "setdefault", "pop",
+    "popitem", "clear", "remove", "discard", "appendleft", "sort",
+    "reverse",
+}
+
+
+def check_shared_state(ctx: AnalysisContext) -> None:
+    graph = ctx.graph
+    rule = PARALLEL_SHARED_STATE
+    if not graph.pool_roots:
+        return
+    reachable = graph.reachable_from(sorted(graph.pool_roots))
+    for qualname in sorted(reachable):
+        info = graph.functions.get(qualname)
+        if info is None:
+            continue
+        module = ctx.module_of(info.module)
+        if module is None:
+            continue
+        _check_function_mutations(ctx, module, info, rule)
+
+
+def _check_function_mutations(
+    ctx: AnalysisContext, module: ParsedModule, info: FunctionInfo, rule
+) -> None:
+    graph = ctx.graph
+    node = info.node
+    global_decls: Set[str] = set()
+    local_names: Set[str] = set(info.all_params)
+
+    def add_bound_names(target: ast.expr) -> None:
+        # Only plain-name (and destructuring) targets bind locals;
+        # `CACHE[k] = v` / `obj.attr = v` mutate an existing object and
+        # must NOT shadow the shared name they store into.
+        if isinstance(target, ast.Name):
+            local_names.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                add_bound_names(element)
+        elif isinstance(target, ast.Starred):
+            add_bound_names(target.value)
+
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Global):
+            global_decls.update(sub.names)
+        elif isinstance(sub, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+            )
+            for target in targets:
+                add_bound_names(target)
+        elif isinstance(sub, (ast.For, ast.AsyncFor)):
+            add_bound_names(sub.target)
+        elif isinstance(sub, ast.comprehension):
+            add_bound_names(sub.target)
+        elif isinstance(sub, ast.withitem) and sub.optional_vars is not None:
+            add_bound_names(sub.optional_vars)
+    local_names -= global_decls
+
+    #: Parameters aliasing shared state: a mutable default display, or a
+    #: default naming a module-level mutable.
+    shared_params: Dict[str, str] = {}
+    for param, default in info.defaults.items():
+        if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+            shared_params[param] = "mutable default"
+        elif isinstance(default, (ast.Name, ast.Attribute)):
+            name = dotted_name(default)
+            if name is not None and graph.resolve_mutable(info.module, name):
+                shared_params[param] = f"default aliasing module global `{name}`"
+
+    def shared_target(expr: ast.expr) -> Optional[str]:
+        """Describe ``expr`` if it names worker-shared state."""
+        name = dotted_name(expr)
+        if name is None:
+            return None
+        head = name.split(".")[0]
+        if head in shared_params:
+            return f"parameter `{head}` ({shared_params[head]})"
+        if head in local_names:
+            return None
+        resolved = graph.resolve_mutable(info.module, name)
+        if resolved is not None:
+            owner_module, owner_name, _ = resolved
+            where = (
+                f"module-level mutable `{owner_name}`"
+                if owner_module == info.module
+                else f"module-level mutable `{owner_module}.{owner_name}`"
+            )
+            return where
+        return None
+
+    fn_label = info.local_name
+
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.Assign, ast.AugAssign)):
+            targets = sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    described = shared_target(target.value)
+                    if described is not None:
+                        ctx.flag(
+                            module, sub, rule,
+                            f"`{fn_label}` (reachable from a process-pool "
+                            f"submission) writes into {described}; worker "
+                            "state leaks across work units and breaks "
+                            "serial/parallel byte-identity",
+                        )
+                elif isinstance(target, ast.Name) and target.id in global_decls:
+                    resolved = graph.resolve_mutable(info.module, target.id)
+                    in_assigns = target.id in graph.symbols.get(
+                        info.module, None
+                    ).assigns if graph.symbols.get(info.module) else False
+                    if resolved is not None or in_assigns:
+                        ctx.flag(
+                            module, sub, rule,
+                            f"`{fn_label}` (reachable from a process-pool "
+                            f"submission) rebinds module global "
+                            f"`{target.id}`; worker state leaks across "
+                            "work units",
+                        )
+        elif isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+            if sub.func.attr in _MUTATOR_METHODS:
+                described = shared_target(sub.func.value)
+                if described is not None:
+                    ctx.flag(
+                        module, sub, rule,
+                        f"`{fn_label}` (reachable from a process-pool "
+                        f"submission) calls .{sub.func.attr}() on "
+                        f"{described}; worker state leaks across work "
+                        "units and breaks serial/parallel byte-identity",
+                    )
+
+
+# -- RTX009: flow-sensitive unit inference -----------------------------------
+
+#: Unit scale indices: value_in_us = value * 1000**index.
+_UNITS = {"us": 0, "ms": 1, "s": 2}
+_UNIT_LABEL = {"us": "microseconds", "ms": "milliseconds", "s": "seconds"}
+
+_SUFFIX_UNITS: Tuple[Tuple[str, str], ...] = (
+    ("_us", "us"), ("_usec", "us"), ("_usecs", "us"),
+    ("_ms", "ms"), ("_msec", "ms"), ("_msecs", "ms"),
+    ("_seconds", "s"), ("_secs", "s"), ("_sec", "s"), ("_s", "s"),
+)
+
+#: Calls whose return unit is known a priori.
+_KNOWN_CALL_UNITS = {
+    "perf_counter": "s",
+    "monotonic": "s",
+    "process_time": "s",
+    "total_seconds": "s",
+}
+
+#: Conversion factors: multiplying by 1000**k moves k steps toward µs.
+_FACTOR_STEPS = {
+    1000: 1, 1000.0: 1, 1_000_000: 2, 1_000_000.0: 2,
+    0.001: -1, 1e-06: -2,
+}
+
+
+def unit_of_name(name: str) -> Optional[str]:
+    lower = name.lower()
+    for suffix, unit in _SUFFIX_UNITS:
+        if lower.endswith(suffix):
+            return unit
+    return None
+
+
+class _UnitPass:
+    def __init__(self, ctx: AnalysisContext):
+        self.ctx = ctx
+        self.graph = ctx.graph
+        #: qualname -> inferred return unit.
+        self.returns: Dict[str, Optional[str]] = {}
+
+    def run(self) -> None:
+        # Phase 1: return units from name suffixes, then one inference
+        # sweep so unsuffixed helpers returning µs expressions count.
+        for qualname, info in self.graph.functions.items():
+            self.returns[qualname] = unit_of_name(info.local_name.split(".")[-1])
+        for _ in range(2):
+            for qualname, info in self.graph.functions.items():
+                if self.returns[qualname] is None:
+                    self.returns[qualname] = self._infer_return(info)
+        # Phase 2: the reporting pass.
+        for qualname in sorted(self.graph.functions):
+            info = self.graph.functions[qualname]
+            module = self.ctx.module_of(info.module)
+            if module is not None:
+                self._check_function(module, info)
+
+    # -- return-unit inference (no findings emitted) ------------------------
+
+    def _infer_return(self, info: FunctionInfo) -> Optional[str]:
+        env = self._seed_env(info)
+        units: Set[str] = set()
+        for sub in ast.walk(info.node):
+            if isinstance(sub, ast.Return) and sub.value is not None:
+                unit = self._infer(sub.value, env, info, report=None)
+                if unit is not None:
+                    units.add(unit)
+        return units.pop() if len(units) == 1 else None
+
+    def _seed_env(self, info: FunctionInfo) -> Dict[str, Optional[str]]:
+        env: Dict[str, Optional[str]] = {}
+        for param in info.all_params:
+            unit = unit_of_name(param)
+            if unit is not None:
+                env[param] = unit
+        return env
+
+    # -- checking ------------------------------------------------------------
+
+    def _check_function(self, module: ParsedModule, info: FunctionInfo) -> None:
+        env = self._seed_env(info)
+        return_unit = self.returns.get(info.qualname)
+        name_unit = unit_of_name(info.local_name.split(".")[-1])
+
+        def report(node: ast.AST, message: str) -> None:
+            self.ctx.flag(module, node, UNIT_FLOW, message)
+
+        def visit_block(stmts: Sequence[ast.stmt]) -> None:
+            for stmt in stmts:
+                visit(stmt)
+
+        def visit(stmt: ast.stmt) -> None:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return  # nested defs are analyzed via their own info, if any
+            if isinstance(stmt, ast.Assign):
+                unit = self._infer(stmt.value, env, info, report)
+                for target in stmt.targets:
+                    self._bind_unit(target, unit, env, report, stmt)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                unit = self._infer(stmt.value, env, info, report)
+                self._bind_unit(stmt.target, unit, env, report, stmt)
+            elif isinstance(stmt, ast.AugAssign):
+                value_unit = self._infer(stmt.value, env, info, report)
+                if isinstance(stmt.op, (ast.Add, ast.Sub)) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    target_unit = env.get(stmt.target.id) or unit_of_name(
+                        stmt.target.id
+                    )
+                    if (
+                        target_unit is not None
+                        and value_unit is not None
+                        and target_unit != value_unit
+                    ):
+                        report(
+                            stmt,
+                            f"augmented assignment mixes "
+                            f"{_UNIT_LABEL[target_unit]} "
+                            f"(`{stmt.target.id}`) with a "
+                            f"{_UNIT_LABEL[value_unit]} value",
+                        )
+            elif isinstance(stmt, ast.Return):
+                if stmt.value is not None:
+                    unit = self._infer(stmt.value, env, info, report)
+                    if (
+                        name_unit is not None
+                        and unit is not None
+                        and unit != name_unit
+                    ):
+                        report(
+                            stmt,
+                            f"function `{info.local_name}` is named in "
+                            f"{_UNIT_LABEL[name_unit]} but returns a "
+                            f"{_UNIT_LABEL[unit]} value",
+                        )
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                iter_unit = self._infer(stmt.iter, env, info, report)
+                self._bind_unit(stmt.target, iter_unit, env, None, stmt)
+                visit_block(stmt.body)
+                visit_block(stmt.orelse)
+            elif isinstance(stmt, (ast.If, ast.While)):
+                self._infer(stmt.test, env, info, report)
+                visit_block(stmt.body)
+                visit_block(stmt.orelse)
+            elif isinstance(stmt, ast.With):
+                for item in stmt.items:
+                    self._infer(item.context_expr, env, info, report)
+                visit_block(stmt.body)
+            elif isinstance(stmt, ast.Try):
+                visit_block(stmt.body)
+                for handler in stmt.handlers:
+                    visit_block(handler.body)
+                visit_block(stmt.orelse)
+                visit_block(stmt.finalbody)
+            elif isinstance(stmt, ast.Expr):
+                self._infer(stmt.value, env, info, report)
+
+        visit_block(getattr(info.node, "body", []))
+        _ = return_unit  # reserved for future cross-checks
+
+    def _bind_unit(
+        self,
+        target: ast.expr,
+        unit: Optional[str],
+        env: Dict[str, Optional[str]],
+        report,
+        stmt: ast.stmt,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            declared = unit_of_name(target.id)
+            if (
+                report is not None
+                and declared is not None
+                and unit is not None
+                and unit != declared
+            ):
+                report(
+                    stmt,
+                    f"assigning a {_UNIT_LABEL[unit]} value to "
+                    f"`{target.id}`, which is named in "
+                    f"{_UNIT_LABEL[declared]}",
+                )
+            env[target.id] = declared if declared is not None else unit
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_unit(element, None, env, None, stmt)
+        elif isinstance(target, ast.Attribute):
+            declared = unit_of_name(target.attr)
+            if (
+                report is not None
+                and declared is not None
+                and unit is not None
+                and unit != declared
+            ):
+                report(
+                    stmt,
+                    f"assigning a {_UNIT_LABEL[unit]} value to "
+                    f"`.{target.attr}`, which is named in "
+                    f"{_UNIT_LABEL[declared]}",
+                )
+
+    # -- expression inference ------------------------------------------------
+
+    def _infer(
+        self,
+        node: ast.expr,
+        env: Dict[str, Optional[str]],
+        info: FunctionInfo,
+        report,
+    ) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            if node.id in env:
+                return env[node.id]
+            return unit_of_name(node.id)
+        if isinstance(node, ast.Attribute):
+            return unit_of_name(node.attr)
+        if isinstance(node, ast.Constant):
+            return None
+        if isinstance(node, ast.BinOp):
+            return self._infer_binop(node, env, info, report)
+        if isinstance(node, ast.UnaryOp):
+            return self._infer(node.operand, env, info, report)
+        if isinstance(node, ast.Compare):
+            self._check_compare(node, env, info, report)
+            return None
+        if isinstance(node, ast.Call):
+            return self._infer_call(node, env, info, report)
+        if isinstance(node, ast.IfExp):
+            self._infer(node.test, env, info, report)
+            body = self._infer(node.body, env, info, report)
+            orelse = self._infer(node.orelse, env, info, report)
+            return body if body is not None else orelse
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            units = {
+                u for u in (
+                    self._infer(e, env, info, report) for e in node.elts
+                ) if u is not None
+            }
+            return units.pop() if len(units) == 1 else None
+        if isinstance(node, ast.Subscript):
+            self._infer(node.value, env, info, report)
+            # Element of a suffixed collection keeps the collection unit.
+            name = dotted_name(node.value)
+            if name is not None:
+                return unit_of_name(name.split(".")[-1])
+            return None
+        if isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+            local = dict(env)
+            for generator in node.generators:
+                gen_unit = self._infer(generator.iter, local, info, report)
+                self._bind_unit(generator.target, gen_unit, local, None, node)
+            return self._infer(node.elt, local, info, report)
+        # Fall through: inspect children without deriving a unit.
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._infer(child, env, info, report)
+        return None
+
+    def _infer_binop(self, node: ast.BinOp, env, info, report) -> Optional[str]:
+        left = self._infer(node.left, env, info, report)
+        right = self._infer(node.right, env, info, report)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if left is not None and right is not None and left != right:
+                if report is not None:
+                    report(
+                        node,
+                        f"{'adds' if isinstance(node.op, ast.Add) else 'subtracts'} "
+                        f"a {_UNIT_LABEL[right]} value "
+                        f"{'to' if isinstance(node.op, ast.Add) else 'from'} a "
+                        f"{_UNIT_LABEL[left]} value",
+                    )
+                return left
+            return left if left is not None else right
+        if isinstance(node.op, (ast.Mult, ast.Div)):
+            unit, other = (left, node.right) if left is not None else (right, node.left)
+            if left is not None and right is not None:
+                return None  # µs·µs etc: no longer a time
+            if unit is None:
+                return None
+            steps = self._conversion_steps(other)
+            if steps is None:
+                return unit  # scaling by a unitless quantity
+            direction = steps if isinstance(node.op, ast.Mult) else -steps
+            # Multiplying by 1000**k moves k steps toward µs on the
+            # {us:0, ms:1, s:2} index (dividing moves away).
+            index = _UNITS[unit] - direction
+            for name, idx in _UNITS.items():
+                if idx == index:
+                    return name
+            return None
+        if isinstance(node.op, (ast.FloorDiv, ast.Mod)):
+            return left
+        return None
+
+    @staticmethod
+    def _conversion_steps(node: ast.expr) -> Optional[int]:
+        if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+            return _FACTOR_STEPS.get(node.value)
+        return None
+
+    def _check_compare(self, node: ast.Compare, env, info, report) -> None:
+        operands = [node.left] + list(node.comparators)
+        units = [self._infer(op, env, info, report) for op in operands]
+        known = [(op, u) for op, u in zip(operands, units) if u is not None]
+        for (_, a), (_, b) in zip(known, known[1:]):
+            if a != b and report is not None:
+                report(
+                    node,
+                    f"comparison mixes {_UNIT_LABEL[a]} and "
+                    f"{_UNIT_LABEL[b]} values",
+                )
+                return
+
+    def _infer_call(self, node: ast.Call, env, info, report) -> Optional[str]:
+        for arg in node.args:
+            self._infer(arg, env, info, report)
+        name = dotted_name(node.func)
+        tail = name.split(".")[-1] if name is not None else None
+
+        callee = (
+            self.graph.resolve_function(info.module, name)
+            if name is not None else None
+        )
+        # Argument/parameter unit agreement across the call boundary.
+        if callee is not None:
+            positional = callee.params
+            offset = 1 if positional and positional[0] in ("self", "cls") else 0
+            for i, arg in enumerate(node.args):
+                if i + offset >= len(positional):
+                    break
+                self._check_arg(
+                    arg, positional[i + offset], env, info, report
+                )
+            for kw in node.keywords:
+                if kw.arg is not None:
+                    self._check_arg(kw.value, kw.arg, env, info, report)
+        else:
+            # Unresolved callee: a suffixed keyword name still declares
+            # the expected unit (dataclass fields, config kwargs).
+            for kw in node.keywords:
+                if kw.arg is not None:
+                    self._check_arg(kw.value, kw.arg, env, info, report)
+
+        if tail in ("min", "max", "sum", "abs", "sorted"):
+            units = {
+                u for u in (
+                    self._infer(arg, env, info, report) for arg in node.args
+                ) if u is not None
+            }
+            if len(units) > 1 and report is not None and tail in ("min", "max"):
+                pair = sorted(units)
+                report(
+                    node,
+                    f"{tail}() mixes {_UNIT_LABEL[pair[0]]} and "
+                    f"{_UNIT_LABEL[pair[1]]} arguments",
+                )
+            return units.pop() if len(units) == 1 else None
+
+        if callee is not None:
+            return self.returns.get(callee.qualname)
+        if tail is not None:
+            if tail in _KNOWN_CALL_UNITS:
+                return _KNOWN_CALL_UNITS[tail]
+            declared = unit_of_name(tail)
+            if declared is not None:
+                return declared
+        return None
+
+    def _check_arg(self, arg: ast.expr, param: str, env, info, report) -> None:
+        declared = unit_of_name(param)
+        if declared is None or report is None:
+            return
+        unit = self._infer(arg, env, info, None)
+        if unit is not None and unit != declared:
+            report(
+                arg,
+                f"passing a {_UNIT_LABEL[unit]} value where parameter "
+                f"`{param}` expects {_UNIT_LABEL[declared]}",
+            )
+
+
+def check_unit_flow(ctx: AnalysisContext) -> None:
+    _UnitPass(ctx).run()
+
+
+# -- RTX010: trace-emit conformance ------------------------------------------
+
+#: Emit-helper name -> event kind; signatures come from the live
+#: RunTrace class so the check can never drift from the real vocabulary.
+_EMITTER_KINDS = {
+    "arrival": "arrival",
+    "task": "task",
+    "subtask": "subtask",
+    "migration_planned": "migration_planned",
+    "migration_executed": "migration_executed",
+    "migration_returned": "migration_returned",
+    "gap": "gap",
+    "deadline": "deadline",
+}
+
+#: Modules that define/transport the vocabulary rather than emit into
+#: it; their TraceEvent constructions are exempt.
+_VOCAB_MODULE_PREFIXES = ("repro.obs", "repro.check")
+
+
+def _emitter_signatures() -> Dict[str, Tuple[Set[str], bool]]:
+    """helper name -> (named keyword params, accepts **args payload)."""
+    import inspect
+
+    from repro.obs.trace import RunTrace
+
+    signatures: Dict[str, Tuple[Set[str], bool]] = {}
+    for helper in _EMITTER_KINDS:
+        sig = inspect.signature(getattr(RunTrace, helper))
+        named = {
+            p.name for p in sig.parameters.values()
+            if p.kind in (p.POSITIONAL_OR_KEYWORD, p.KEYWORD_ONLY)
+            and p.name != "self"
+        }
+        has_var_kw = any(
+            p.kind == p.VAR_KEYWORD for p in sig.parameters.values()
+        )
+        signatures[helper] = (named, has_var_kw)
+    return signatures
+
+
+def check_trace_emits(ctx: AnalysisContext) -> None:
+    from repro.obs.events import EVENT_ARG_FIELDS, EVENT_KINDS
+
+    rule = TRACE_EMIT_CONFORMANCE
+    signatures = _emitter_signatures()
+    graph = ctx.graph
+
+    for module in ctx.modules:
+        if module.name.startswith(_VOCAB_MODULE_PREFIXES):
+            continue
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            # Emit-helper calls on a trace-like receiver.
+            if isinstance(node.func, ast.Attribute):
+                helper = node.func.attr
+                if helper in _EMITTER_KINDS and _trace_receiver(node.func.value):
+                    _check_helper_call(
+                        ctx, module, node, helper, signatures,
+                        EVENT_ARG_FIELDS, rule,
+                    )
+            # Direct TraceEvent(...) construction.
+            name = dotted_name(node.func)
+            if name is not None and name.split(".")[-1] == "TraceEvent":
+                _check_event_ctor(
+                    ctx, module, graph, node, EVENT_KINDS, EVENT_ARG_FIELDS, rule
+                )
+
+
+def _trace_receiver(expr: ast.expr) -> bool:
+    name = dotted_name(expr)
+    if name is None:
+        return False
+    return "trace" in name.lower()
+
+
+def _check_helper_call(
+    ctx, module, node: ast.Call, helper: str, signatures, arg_fields, rule
+) -> None:
+    named, has_var_kw = signatures[helper]
+    kind = _EMITTER_KINDS[helper]
+    allowed_payload = arg_fields.get(kind, frozenset())
+    for kw in node.keywords:
+        if kw.arg is None:
+            continue  # **spread: not statically checkable
+        if kw.arg in named:
+            continue
+        if has_var_kw:
+            if kw.arg not in allowed_payload:
+                known = ", ".join(sorted(allowed_payload)) or "(none)"
+                ctx.flag(
+                    module, kw.value, rule,
+                    f"trace.{helper}() payload key '{kw.arg}' is not in "
+                    f"the '{kind}' args vocabulary (known: {known}); "
+                    "add it to EVENT_ARG_FIELDS in repro.obs.events "
+                    "first",
+                )
+        else:
+            ctx.flag(
+                module, kw.value, rule,
+                f"trace.{helper}() has no keyword '{kw.arg}' — the emit "
+                "helper would raise TypeError at runtime",
+            )
+
+
+def _check_event_ctor(
+    ctx, module, graph: ProjectGraph, node: ast.Call, kinds, arg_fields, rule
+) -> None:
+    kind_expr: Optional[ast.expr] = node.args[0] if node.args else None
+    for kw in node.keywords:
+        if kw.arg == "kind":
+            kind_expr = kw.value
+    kind: Optional[str] = None
+    if isinstance(kind_expr, ast.Constant) and isinstance(kind_expr.value, str):
+        kind = kind_expr.value
+    elif kind_expr is not None:
+        name = dotted_name(kind_expr)
+        if name is not None:
+            resolved = graph.resolve_constant(module.name, name)
+            if isinstance(resolved, ast.Constant) and isinstance(
+                resolved.value, str
+            ):
+                kind = resolved.value
+    if kind is not None and kind not in kinds:
+        ctx.flag(
+            module, kind_expr if kind_expr is not None else node, rule,
+            f"TraceEvent kind '{kind}' is not in EVENT_KINDS "
+            f"({', '.join(kinds)}) — downstream consumers will drop or "
+            "mis-aggregate it",
+        )
+        return
+    args_expr: Optional[ast.expr] = None
+    for kw in node.keywords:
+        if kw.arg == "args":
+            args_expr = kw.value
+    if kind is not None and isinstance(args_expr, ast.Dict):
+        allowed = arg_fields.get(kind, frozenset())
+        for key in args_expr.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                if key.value not in allowed:
+                    known = ", ".join(sorted(allowed)) or "(none)"
+                    ctx.flag(
+                        module, key, rule,
+                        f"TraceEvent args key '{key.value}' is not in the "
+                        f"'{kind}' vocabulary (known: {known}); add it to "
+                        "EVENT_ARG_FIELDS in repro.obs.events first",
+                    )
+
+
+# -- driver -------------------------------------------------------------------
+
+_PASSES = (
+    ("RTX007", check_cache_keys),
+    ("RTX008", check_shared_state),
+    ("RTX009", check_unit_flow),
+    ("RTX010", check_trace_emits),
+)
+
+
+def analyze_modules(
+    modules: Sequence[ParsedModule],
+    select: Optional[Set[str]] = None,
+    ignore: Optional[Set[str]] = None,
+) -> List[Finding]:
+    """Run the flow passes over an already-parsed module set.
+
+    ``select``/``ignore`` filter by rule id (select wins first, then
+    ignore removes); passes whose rule is filtered out are skipped
+    entirely.  Inline ``# repro-check: allow`` waivers are honoured the
+    same way the lint honours them.
+    """
+    wanted = {
+        rule_id for rule_id, _ in _PASSES
+        if (select is None or rule_id in select)
+        and (ignore is None or rule_id not in ignore)
+    }
+    ctx = AnalysisContext(modules=list(modules), graph=build_graph(modules))
+    for rule_id, pass_fn in _PASSES:
+        if rule_id in wanted:
+            pass_fn(ctx)
+    lines_by_path = {module.path: module.lines for module in modules}
+    findings = apply_waivers(ctx.findings, lines_by_path)
+    return sorted(findings, key=lambda f: f.sort_key)
+
+
+def analyze_paths(
+    paths: Sequence[PathLike],
+    select: Optional[Set[str]] = None,
+    ignore: Optional[Set[str]] = None,
+) -> List[Finding]:
+    """Parse (once) and analyze files and directory trees."""
+    return analyze_modules(load_modules(list(paths)), select=select, ignore=ignore)
+
+
+# -- baseline -----------------------------------------------------------------
+
+
+def finding_key(finding: Finding) -> Dict[str, str]:
+    """Baseline identity: path + rule + message (line numbers drift)."""
+    return {
+        "path": Path(finding.path).as_posix(),
+        "rule": finding.rule.rule_id,
+        "message": finding.message,
+    }
+
+
+def load_baseline(path: PathLike) -> List[Dict[str, str]]:
+    payload = json.loads(Path(path).read_text())
+    entries = payload.get("entries", []) if isinstance(payload, dict) else []
+    out: List[Dict[str, str]] = []
+    for entry in entries:
+        if isinstance(entry, dict) and {"path", "rule", "message"} <= set(entry):
+            out.append(
+                {
+                    "path": str(entry["path"]),
+                    "rule": str(entry["rule"]),
+                    "message": str(entry["message"]),
+                }
+            )
+    return out
+
+
+def write_baseline(path: PathLike, findings: Sequence[Finding]) -> None:
+    payload = {
+        "version": 1,
+        "comment": (
+            "Accepted `repro.check analyze` findings. Entries are matched "
+            "by (path, rule, message) so line drift does not invalidate "
+            "them; regenerate with `python -m repro.check analyze "
+            "--write-baseline`."
+        ),
+        "entries": [finding_key(f) for f in findings],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def split_by_baseline(
+    findings: Sequence[Finding], entries: Sequence[Mapping[str, str]]
+) -> Tuple[List[Finding], List[Finding], List[Dict[str, str]]]:
+    """Partition findings into (new, baselined); also report stale entries."""
+    remaining = [dict(entry) for entry in entries]
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in findings:
+        key = finding_key(finding)
+        if key in remaining:
+            remaining.remove(key)
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    return new, baselined, remaining
+
+
+def report_json(
+    findings: Sequence[Finding],
+    baselined: Sequence[Finding] = (),
+    stale: Sequence[Mapping[str, str]] = (),
+    baseline_path: Optional[str] = None,
+) -> Dict[str, object]:
+    """Machine-readable ``--format json`` document."""
+    def render(finding: Finding) -> Dict[str, object]:
+        return {
+            "path": Path(finding.path).as_posix(),
+            "line": finding.line,
+            "col": finding.col,
+            "rule": finding.rule.rule_id,
+            "name": finding.rule.name,
+            "message": finding.message,
+        }
+
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule.rule_id] = counts.get(finding.rule.rule_id, 0) + 1
+    return {
+        "version": 1,
+        "tool": "repro.check analyze",
+        "findings": [render(f) for f in findings],
+        "baselined": [render(f) for f in baselined],
+        "counts": dict(sorted(counts.items())),
+        "baseline": {
+            "path": baseline_path,
+            "suppressed": len(baselined),
+            "stale_entries": [dict(entry) for entry in stale],
+        },
+    }

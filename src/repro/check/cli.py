@@ -2,10 +2,18 @@
 
 Subcommands::
 
-    python -m repro.check lint [PATH ...]   # default: src/repro
-    python -m repro.check rules             # ruff-style rule table
+    python -m repro.check lint [PATH ...]      # default: src/repro
+    python -m repro.check analyze [PATH ...]   # whole-program flow passes
+    python -m repro.check rules                # ruff-style rule table
     python -m repro.check rules --explain RTX003
     python -m repro.check replay trace.jsonl
+
+``lint`` runs the per-file rules (RTX001–RTX006); ``analyze`` parses the
+same tree once, builds the project graph, and runs the flow passes
+(RTX007–RTX010).  Both accept ``--select``/``--ignore`` rule-id filters;
+``analyze`` additionally supports ``--format json``, a committed
+baseline file (``--baseline``, default ``.repro-check-baseline.json``
+when present), and ``--write-baseline`` to accept the current findings.
 
 ``replay`` feeds a saved JSONL trace through the same
 :class:`~repro.check.sanitizer.SanitizingSink` the live ``--sanitize``
@@ -13,31 +21,51 @@ path uses, so an archived trace can be re-validated offline — after a
 sanitizer change, or to triage a trace produced on another machine —
 without re-running the simulation that produced it.
 
-Exit codes follow linter convention: 0 clean, 1 findings (lint) or a
-sanitizer violation (replay), 2 usage or I/O errors (unreadable path,
-syntax error in a linted file, malformed trace line).
+Exit codes follow linter convention: 0 clean, 1 findings (lint/analyze)
+or a sanitizer violation (replay), 2 usage or I/O errors (unreadable
+path, syntax error in a linted file, unknown rule id, malformed trace
+line).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set
 
 from repro.check.lint import lint_paths
-from repro.check.rules import explain, rule_table
+from repro.check.rules import RULES_BY_ID, explain, rule_table
+
+
+def _add_rule_filters(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--select",
+        metavar="RTX0NN[,RTX0NN...]",
+        action="append",
+        default=None,
+        help="only report these rule ids (repeatable, comma-separated)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RTX0NN[,RTX0NN...]",
+        action="append",
+        default=None,
+        help="suppress these rule ids (repeatable, comma-separated)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.check",
-        description="Determinism lint and rule table for the RT-OPEX repro.",
+        description="Determinism lint, whole-program analysis, and rule table "
+        "for the RT-OPEX repro.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
     lint_parser = sub.add_parser(
-        "lint", help="lint files/trees for determinism hazards (RTX0NN rules)"
+        "lint", help="lint files/trees for determinism hazards (RTX001-006)"
     )
     lint_parser.add_argument(
         "paths",
@@ -45,8 +73,45 @@ def build_parser() -> argparse.ArgumentParser:
         default=["src/repro"],
         help="files or directories to lint (default: src/repro)",
     )
+    _add_rule_filters(lint_parser)
 
-    rules_parser = sub.add_parser("rules", help="list the lint rules")
+    analyze_parser = sub.add_parser(
+        "analyze",
+        help="whole-program flow analysis (RTX007-010): cache keys, "
+        "pool-shared state, unit flow, trace-emit conformance",
+    )
+    analyze_parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    _add_rule_filters(analyze_parser)
+    analyze_parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json emits the full machine-readable report)",
+    )
+    analyze_parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="baseline file of accepted findings "
+        "(default: .repro-check-baseline.json when it exists)",
+    )
+    analyze_parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file (report every finding)",
+    )
+    analyze_parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept the current findings into the baseline file and exit 0",
+    )
+
+    rules_parser = sub.add_parser("rules", help="list the lint/analyze rules")
     rules_parser.add_argument(
         "--explain",
         metavar="RTX0NN",
@@ -67,13 +132,47 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_lint(paths: Sequence[str]) -> int:
+def _parse_rule_ids(specs: Optional[List[str]]) -> Optional[Set[str]]:
+    """Expand repeated/comma-separated ``--select``/``--ignore`` values."""
+    if specs is None:
+        return None
+    out: Set[str] = set()
+    for spec in specs:
+        for part in spec.split(","):
+            part = part.strip().upper()
+            if not part:
+                continue
+            if part not in RULES_BY_ID:
+                known = ", ".join(sorted(RULES_BY_ID))
+                raise ValueError(f"unknown rule id {part!r} (known: {known})")
+            out.add(part)
+    return out or None
+
+
+def _check_paths(paths: Sequence[str]) -> Optional[int]:
     missing = [p for p in paths if not Path(p).exists()]
     if missing:
         print(f"repro.check: no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
+    return None
+
+
+def _run_lint(
+    paths: Sequence[str],
+    select: Optional[List[str]],
+    ignore: Optional[List[str]],
+) -> int:
+    bad = _check_paths(paths)
+    if bad is not None:
+        return bad
     try:
-        findings = lint_paths(paths)
+        select_ids = _parse_rule_ids(select)
+        ignore_ids = _parse_rule_ids(ignore)
+    except ValueError as exc:
+        print(f"repro.check: {exc}", file=sys.stderr)
+        return 2
+    try:
+        findings = lint_paths(paths, select=select_ids, ignore=ignore_ids)
     except SyntaxError as exc:
         print(f"repro.check: cannot parse {exc.filename}:{exc.lineno}: {exc.msg}",
               file=sys.stderr)
@@ -82,6 +181,91 @@ def _run_lint(paths: Sequence[str]) -> int:
         print(finding.render())
     if findings:
         print(f"repro.check: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_analyze(args: argparse.Namespace) -> int:
+    # Imported here so plain `lint` never pays for graph construction.
+    from repro.check.analyze import (
+        DEFAULT_BASELINE,
+        analyze_paths,
+        load_baseline,
+        report_json,
+        split_by_baseline,
+        write_baseline,
+    )
+
+    bad = _check_paths(args.paths)
+    if bad is not None:
+        return bad
+    try:
+        select_ids = _parse_rule_ids(args.select)
+        ignore_ids = _parse_rule_ids(args.ignore)
+    except ValueError as exc:
+        print(f"repro.check: {exc}", file=sys.stderr)
+        return 2
+    try:
+        findings = analyze_paths(args.paths, select=select_ids, ignore=ignore_ids)
+    except SyntaxError as exc:
+        print(f"repro.check: cannot parse {exc.filename}:{exc.lineno}: {exc.msg}",
+              file=sys.stderr)
+        return 2
+
+    baseline_path: Optional[str] = None
+    if not args.no_baseline:
+        if args.baseline is not None:
+            baseline_path = args.baseline
+        elif Path(DEFAULT_BASELINE).is_file():
+            baseline_path = DEFAULT_BASELINE
+
+    if args.write_baseline:
+        target = baseline_path or DEFAULT_BASELINE
+        write_baseline(target, findings)
+        print(
+            f"repro.check: wrote {len(findings)} finding(s) to {target}",
+            file=sys.stderr,
+        )
+        return 0
+
+    entries = []
+    if baseline_path is not None:
+        try:
+            entries = load_baseline(baseline_path)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(
+                f"repro.check: cannot read baseline {baseline_path}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    new, baselined, stale = split_by_baseline(findings, entries)
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                report_json(new, baselined, stale, baseline_path),
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for finding in new:
+            print(finding.render())
+        if baselined:
+            print(
+                f"repro.check: {len(baselined)} baselined finding(s) suppressed "
+                f"({baseline_path})",
+                file=sys.stderr,
+            )
+        if stale:
+            print(
+                f"repro.check: {len(stale)} stale baseline entr"
+                f"{'y' if len(stale) == 1 else 'ies'} (fixed findings — "
+                "regenerate with --write-baseline)",
+                file=sys.stderr,
+            )
+    if new:
+        print(f"repro.check: {len(new)} finding(s)", file=sys.stderr)
         return 1
     return 0
 
@@ -153,7 +337,9 @@ def _run_rules(explain_id: Optional[str]) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "lint":
-        return _run_lint(args.paths)
+        return _run_lint(args.paths, args.select, args.ignore)
+    if args.command == "analyze":
+        return _run_analyze(args)
     if args.command == "replay":
         return _run_replay(args.trace, args.allow_partial)
     return _run_rules(args.explain)

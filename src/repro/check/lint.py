@@ -21,8 +21,15 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
+from repro.check.parse import (
+    ParsedModule,
+    iter_python_files,
+    load_modules,
+    parse_file,
+    parse_source,
+)
 from repro.check.rules import (
     ENV_READ,
     ENV_READ_ALLOWED_PARTS,
@@ -458,11 +465,19 @@ def _mark_call_parents(tree: ast.AST) -> None:
             node.value._parent_expr = node  # type: ignore[attr-defined]
 
 
-def _apply_waivers(findings: List[Finding], source: str) -> List[Finding]:
-    """Drop findings waived by an inline ``# repro-check: allow`` comment."""
-    lines = source.splitlines()
+def apply_waivers(
+    findings: Sequence[Finding], lines_by_path: Mapping[str, Sequence[str]]
+) -> List[Finding]:
+    """Drop findings waived by an inline ``# repro-check: allow`` comment.
+
+    Shared by the lint and the analyzer: ``lines_by_path`` maps each
+    finding's path to its (already split, parse-once) source lines.  A
+    bare marker waives every rule on its line; ``allow RTX001,RTX008``
+    waives only the listed ids.
+    """
     kept: List[Finding] = []
     for finding in findings:
+        lines = lines_by_path.get(finding.path, ())
         if 1 <= finding.line <= len(lines):
             text = lines[finding.line - 1]
             marker = text.find(WAIVER_MARKER)
@@ -473,6 +488,37 @@ def _apply_waivers(findings: List[Finding], source: str) -> List[Finding]:
                     continue
         kept.append(finding)
     return kept
+
+
+def filter_rules(
+    findings: Sequence[Finding],
+    select: Optional[Set[str]] = None,
+    ignore: Optional[Set[str]] = None,
+) -> List[Finding]:
+    """Apply ``--select``/``--ignore`` rule-id sets (select wins first)."""
+    out: List[Finding] = []
+    for finding in findings:
+        rule_id = finding.rule.rule_id
+        if select is not None and rule_id not in select:
+            continue
+        if ignore is not None and rule_id in ignore:
+            continue
+        out.append(finding)
+    return out
+
+
+def lint_module(
+    module: ParsedModule,
+    select: Optional[Set[str]] = None,
+    ignore: Optional[Set[str]] = None,
+) -> List[Finding]:
+    """Lint one already-parsed module (the parse-once entry point)."""
+    _mark_call_parents(module.tree)
+    visitor = _Visitor(module.path, module.module_parts)
+    visitor.visit(module.tree)
+    findings = apply_waivers(visitor.findings, {module.path: module.lines})
+    findings = filter_rules(findings, select=select, ignore=ignore)
+    return sorted(findings, key=lambda f: f.sort_key)
 
 
 def lint_source(
@@ -486,41 +532,30 @@ def lint_source(
     path-scoped rules (wall-clock allowlist, ordered-iteration scope) —
     fixtures use it to impersonate scheduling modules.
     """
-    path_str = str(path)
-    if module_parts is None:
-        module_parts = Path(path_str).parts
-    tree = ast.parse(source, filename=path_str)
-    _mark_call_parents(tree)
-    visitor = _Visitor(path_str, module_parts)
-    visitor.visit(tree)
-    return sorted(_apply_waivers(visitor.findings, source), key=lambda f: f.sort_key)
+    return lint_module(parse_source(source, path=path, module_parts=module_parts))
 
 
 def lint_file(path: PathLike) -> List[Finding]:
     """Lint one file on disk."""
-    file_path = Path(path)
-    return lint_source(file_path.read_text(), path=file_path)
+    return lint_module(parse_file(path))
 
 
-def iter_python_files(paths: Sequence[PathLike]) -> List[Path]:
-    """Expand files and directory trees into a sorted .py file list."""
-    files: List[Path] = []
-    for entry in paths:
-        entry_path = Path(entry)
-        if entry_path.is_dir():
-            files.extend(
-                candidate
-                for candidate in sorted(entry_path.rglob("*.py"))
-                if "__pycache__" not in candidate.parts
-            )
-        else:
-            files.append(entry_path)
-    return files
-
-
-def lint_paths(paths: Iterable[PathLike]) -> List[Finding]:
-    """Lint files and directory trees; findings come back sorted."""
+def lint_modules(
+    modules: Sequence[ParsedModule],
+    select: Optional[Set[str]] = None,
+    ignore: Optional[Set[str]] = None,
+) -> List[Finding]:
+    """Lint an already-parsed module set (shared with ``analyze``)."""
     findings: List[Finding] = []
-    for file_path in iter_python_files(list(paths)):
-        findings.extend(lint_file(file_path))
+    for module in modules:
+        findings.extend(lint_module(module, select=select, ignore=ignore))
     return sorted(findings, key=lambda f: f.sort_key)
+
+
+def lint_paths(
+    paths: Iterable[PathLike],
+    select: Optional[Set[str]] = None,
+    ignore: Optional[Set[str]] = None,
+) -> List[Finding]:
+    """Lint files and directory trees; findings come back sorted."""
+    return lint_modules(load_modules(list(paths)), select=select, ignore=ignore)

@@ -1,0 +1,128 @@
+"""Parse-once module loading shared by the lint and the analyzer.
+
+Every ``repro.check`` consumer of a source file — the per-file rule
+visitors in :mod:`repro.check.lint`, the project graph builder in
+:mod:`repro.check.graph`, the flow passes in
+:mod:`repro.check.analyze`, and the inline-waiver filter — works from
+the same :class:`ParsedModule`: one ``ast.parse`` per file, one
+``splitlines`` per file, with the tree and the line list shared by
+reference.  ``python -m repro.check lint`` and ``analyze`` both go
+through :func:`load_modules`, so running either (or both over the same
+tree) never re-parses a file.
+
+Module naming: a file under a ``repro`` package directory gets its real
+dotted name (``src/repro/sched/rtopex.py`` → ``repro.sched.rtopex``),
+which is what lets the graph resolve absolute ``repro.*`` imports
+between files.  Files outside any package (fixtures, scratch scripts)
+are named by their stem and resolve only relative siblings.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class ParsedModule:
+    """One source file, parsed exactly once.
+
+    ``module_parts`` is what the path-scoped lint rules match against
+    (directory pairs like ``("repro", "sched")``); ``name`` is the
+    dotted module name the graph resolves imports with.
+    """
+
+    path: str
+    name: str
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+    module_parts: Tuple[str, ...] = ()
+
+    @property
+    def is_package_init(self) -> bool:
+        return Path(self.path).name == "__init__.py"
+
+
+def module_name_for(path: PathLike) -> str:
+    """Dotted module name for a file path.
+
+    Anchored at the outermost ``repro`` path component when present
+    (the repo layout puts everything under ``src/repro``); otherwise
+    the file's stem.  ``__init__.py`` names the package itself.
+    """
+    parts = list(Path(path).parts)
+    anchor = 0
+    for i, part in enumerate(parts):
+        if part == "repro":
+            anchor = i
+            break
+    else:
+        anchor = len(parts) - 1
+    tail = [p for p in parts[anchor:]]
+    if tail[-1].endswith(".py"):
+        tail[-1] = tail[-1][:-3]
+    if tail[-1] == "__init__":
+        tail = tail[:-1]
+    return ".".join(tail) if tail else Path(path).stem
+
+
+def parse_source(
+    source: str,
+    path: PathLike = "<string>",
+    module_parts: Optional[Sequence[str]] = None,
+    name: Optional[str] = None,
+) -> ParsedModule:
+    """Parse one module's text into a shared :class:`ParsedModule`."""
+    path_str = str(path)
+    if module_parts is None:
+        module_parts = Path(path_str).parts
+    tree = ast.parse(source, filename=path_str)
+    return ParsedModule(
+        path=path_str,
+        name=name if name is not None else module_name_for(path_str),
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+        module_parts=tuple(module_parts),
+    )
+
+
+def parse_file(path: PathLike) -> ParsedModule:
+    file_path = Path(path)
+    return parse_source(file_path.read_text(), path=file_path)
+
+
+def iter_python_files(paths: Sequence[PathLike]) -> List[Path]:
+    """Expand files and directory trees into a sorted .py file list."""
+    files: List[Path] = []
+    for entry in paths:
+        entry_path = Path(entry)
+        if entry_path.is_dir():
+            files.extend(
+                candidate
+                for candidate in sorted(entry_path.rglob("*.py"))
+                if "__pycache__" not in candidate.parts
+            )
+        else:
+            files.append(entry_path)
+    return files
+
+
+def load_modules(paths: Sequence[PathLike]) -> List[ParsedModule]:
+    """Parse every Python file under ``paths``, once each.
+
+    The returned list is sorted by path; a ``SyntaxError`` propagates
+    with the offending filename attached (the CLI turns it into exit
+    code 2).
+    """
+    return [parse_file(file_path) for file_path in iter_python_files(paths)]
+
+
+def modules_by_name(modules: Sequence[ParsedModule]) -> Dict[str, ParsedModule]:
+    """Index modules by dotted name (later duplicates win, like sys.modules)."""
+    return {module.name: module for module in modules}

@@ -124,6 +124,80 @@ ENV_READ = Rule(
     ),
 )
 
+CACHE_KEY_COMPLETENESS = Rule(
+    rule_id="RTX007",
+    name="cache-key-completeness",
+    summary=(
+        "experiment option (register(options=)/CLI flag) that does not "
+        "flow into WorkUnit.params, or a CLI flag/option pair with no "
+        "counterpart"
+    ),
+    rationale=(
+        "The result cache is keyed by (experiment, unit key, scale, "
+        "seed, WorkUnit.params).  An option that changes what a sweep "
+        "unit computes but never lands in its params produces silently "
+        "stale cache hits: two runs with different option values share "
+        "a key.  The analyzer traces each declared option from the CLI "
+        "flag table through SweepSpec.units into the params dict, so "
+        "the key provably covers every input."
+    ),
+)
+
+PARALLEL_SHARED_STATE = Rule(
+    rule_id="RTX008",
+    name="parallel-shared-state",
+    summary=(
+        "module-level mutable (or default-argument alias) mutated inside "
+        "a function reachable from a process-pool submission"
+    ),
+    rationale=(
+        "Pool workers are forked and reused across work units: state "
+        "mutated in one unit leaks into the next unit the same worker "
+        "executes, so results depend on which worker ran what — the "
+        "byte-identity killer that serial runs never exhibit.  Worker-"
+        "reachable code (including experiment drivers and sweep "
+        "callbacks reached through the registry) must not write module "
+        "globals or shared default arguments."
+    ),
+)
+
+UNIT_FLOW = Rule(
+    rule_id="RTX009",
+    name="unit-flow",
+    summary=(
+        "time-unit mixing found by dataflow: a µs/ms/seconds-typed value "
+        "(inferred through assignments and call boundaries) combined, "
+        "compared, passed, or returned as a different unit"
+    ),
+    rationale=(
+        "RTX004 only sees lexical `*_us` names; real unit bugs flow "
+        "through unsuffixed intermediates and across function calls "
+        "(`budget = mix.delay_budget_ms` ... `deadline_us = air + "
+        "budget`).  Propagating unit types through assignments, "
+        "arithmetic, and resolved call/return boundaries catches the "
+        "mix where it happens, not just where it is named."
+    ),
+)
+
+TRACE_EMIT_CONFORMANCE = Rule(
+    rule_id="RTX010",
+    name="trace-emit-conformance",
+    summary=(
+        "trace emit site whose kind or args keys fall outside the typed "
+        "TraceEvent vocabulary (repro.obs.events), or an emit-helper "
+        "call with an unknown keyword"
+    ),
+    rationale=(
+        "Every downstream consumer — the exporters, the sanitizer, "
+        "tracestats, the replay validator — dispatches on the typed "
+        "kind/field vocabulary in repro.obs.events.  An emit site "
+        "inventing a kind or misspelling an args key produces events "
+        "the pipeline silently drops or mis-aggregates; checking each "
+        "site against EVENT_KINDS/EVENT_ARG_FIELDS keeps the stream "
+        "schema-true at the source."
+    ),
+)
+
 #: Every rule, in id order — the table ``repro.check rules`` renders.
 RULES: Tuple[Rule, ...] = (
     WALLCLOCK,
@@ -132,7 +206,19 @@ RULES: Tuple[Rule, ...] = (
     US_UNIT_MIXING,
     MUTABLE_DEFAULT,
     ENV_READ,
+    CACHE_KEY_COMPLETENESS,
+    PARALLEL_SHARED_STATE,
+    UNIT_FLOW,
+    TRACE_EMIT_CONFORMANCE,
 )
+
+#: Rules implemented by the per-file lint (``repro.check lint``).
+LINT_RULE_IDS: Tuple[str, ...] = (
+    "RTX001", "RTX002", "RTX003", "RTX004", "RTX005", "RTX006",
+)
+
+#: Rules implemented by the whole-program analyzer (``repro.check analyze``).
+ANALYZE_RULE_IDS: Tuple[str, ...] = ("RTX007", "RTX008", "RTX009", "RTX010")
 
 RULES_BY_ID = {rule.rule_id: rule for rule in RULES}
 

@@ -70,6 +70,24 @@ BUSY_KINDS = (TASK, MIGRATION_EXECUTED)
 #: Kinds rendered as duration ("X") events in the Chrome export.
 SPAN_KINDS = (TASK, SUBTASK, MIGRATION_EXECUTED, GAP)
 
+#: Per-kind ``args`` vocabulary: every key an emit site may legally put
+#: in :attr:`TraceEvent.args`.  The exporters, the sanitizer, the trace
+#: statistics, and the replay validator all dispatch on these names, so
+#: the set is closed by design — a new field is added *here first*,
+#: then at the emit site (``repro.check analyze`` RTX010 enforces the
+#: order).  The emit helpers in :class:`repro.obs.trace.RunTrace` only
+#: ever populate keys from this table.
+EVENT_ARG_FIELDS: Dict[str, "frozenset[str]"] = {
+    ARRIVAL: frozenset(),
+    TASK: frozenset({"cache_penalty_us"}),
+    SUBTASK: frozenset({"preempted"}),
+    MIGRATION_PLANNED: frozenset({"shipped", "targets", "batches"}),
+    MIGRATION_EXECUTED: frozenset({"owner", "shipped", "completed", "batch"}),
+    MIGRATION_RETURNED: frozenset({"completed", "recovered", "batch"}),
+    GAP: frozenset({"usable"}),
+    DEADLINE: frozenset({"missed", "drop_stage", "service"}),
+}
+
 #: ``--trace-kinds`` vocabulary: every concrete kind selects itself, and
 #: the ``migration`` alias selects the whole planned/executed/returned
 #: family so a filter spec does not need to spell out all three.

@@ -1,0 +1,47 @@
+"""RTX007 fixture: a declared option that never reaches the cache key.
+
+``alpha`` flows into ``WorkUnit.params`` (negative case: no finding);
+``beta`` is read from the options mapping but only steers logging, so
+two runs with different ``beta`` values share a cache key (positive
+case: one finding, anchored at the ``register`` decorator).
+"""
+
+from repro.experiments.base import SweepSpec, WorkUnit, attach_sweep, register
+
+
+@register("fixture-sweep", "Cache-key fixture", options=("alpha", "beta"))
+def run_whole(scale, seed, options=None):
+    return {}
+
+
+def _units(scale, seed, options):
+    alpha = options.get("alpha", "1")
+    beta = options.get("beta", "0")
+    chatty = bool(beta)  # control only: never lands in params or key
+    units = []
+    for index in range(2):
+        if chatty:
+            print("fixture sweep unit", index)
+        units.append(
+            WorkUnit(
+                experiment_id="fixture-sweep",
+                key=f"unit-{index}",
+                params={"alpha": alpha, "index": index},
+                seed=seed,
+            )
+        )
+    return units
+
+
+def _run_unit(unit):
+    return {"value": unit.params["alpha"]}
+
+
+def _combine(results, scale, seed):
+    return {"units": results}
+
+
+attach_sweep(
+    "fixture-sweep",
+    SweepSpec(units=_units, run_unit=_run_unit, combine=_combine, takes_options=True),
+)

@@ -1,0 +1,29 @@
+"""RTX008 fixture: pool-reachable functions mutating shared state.
+
+``_worker`` is handed to ``pool.submit`` and (1) writes into a
+module-level dict, (2) appends to a module-level list, and (3) stores
+through a default argument aliasing a module global — three findings.
+Mutating a fresh local container (``_locally_clean``) is the negative
+case and stays silent.
+"""
+
+_RESULTS = {}
+_SEEN = []
+_DEFAULTS = {"scale": 1.0}
+
+
+def _locally_clean(unit):
+    local = {}
+    local[unit] = 1  # negative: locals never leak across work units
+    return local
+
+
+def _worker(unit, registry=_DEFAULTS):
+    _RESULTS[unit] = _locally_clean(unit)
+    _SEEN.append(unit)
+    registry["last"] = unit
+    return unit
+
+
+def run_all(pool, units):
+    return [pool.submit(_worker, unit) for unit in units]

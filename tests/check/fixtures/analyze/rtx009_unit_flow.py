@@ -1,0 +1,27 @@
+"""RTX009 fixture: time-unit mixing that only dataflow can see.
+
+``delay_budget_ms`` returns milliseconds which hide in the unsuffixed
+local ``budget``; adding it to a microsecond quantity is the first
+finding, and assigning a microsecond call result to a ``*_ms`` name is
+the second.  The explicit ``* 1000.0`` conversion is the negative case
+and stays silent.
+"""
+
+SUBFRAME_US = 1000.0
+
+
+def air_time_us(num_subframes):
+    return num_subframes * SUBFRAME_US
+
+
+def delay_budget_ms(service):
+    return 2.0 if service == "urllc" else 10.0
+
+
+def deadline_for(service, num_subframes):
+    budget = delay_budget_ms(service)
+    air = air_time_us(num_subframes)
+    deadline_us = air + budget
+    window_ms = air_time_us(num_subframes)
+    converted_us = delay_budget_ms(service) * 1000.0  # negative: explicit conversion
+    return deadline_us + converted_us, window_ms

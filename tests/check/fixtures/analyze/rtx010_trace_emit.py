@@ -1,0 +1,17 @@
+"""RTX010 fixture: emit sites that fall outside the typed vocabulary.
+
+The first three emits conform (negative cases); then a misspelled
+helper keyword, a payload key missing from ``EVENT_ARG_FIELDS``, and a
+``TraceEvent`` with an unknown kind — three findings.
+"""
+
+from repro.obs.events import TraceEvent
+
+
+def emit_all(trace, core, now_us):
+    trace.deadline(now_us, core, missed=True)
+    trace.task(core, "fft", now_us, now_us + 10.0, cache_penalty_us=1.5)
+    trace.subtask(core, "decode", now_us, now_us + 5.0, preempted=True)
+    trace.deadline(now_us, core, missedd=True)
+    trace.task(core, "fft", now_us, now_us + 10.0, cache_pnlty_us=1.5)
+    return TraceEvent("deadlnie", now_us, core)

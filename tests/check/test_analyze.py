@@ -1,0 +1,466 @@
+"""Tests for the whole-program flow analysis (repro.check analyze)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.check.analyze import (
+    analyze_modules,
+    analyze_paths,
+    finding_key,
+    load_baseline,
+    report_json,
+    split_by_baseline,
+    write_baseline,
+)
+from repro.check.cli import main
+from repro.check.parse import parse_source
+from repro.check.rules import ANALYZE_RULE_IDS
+
+TESTS_DIR = Path(__file__).resolve().parent
+FIXTURES = TESTS_DIR / "fixtures" / "analyze"
+REPO_SRC = TESTS_DIR.parents[1] / "src" / "repro"
+
+#: fixture file -> exact (line, col, rule_id) findings it must produce.
+FIXTURE_FINDINGS = {
+    "rtx007_cache_key.py": [(12, 1, "RTX007")],
+    "rtx008_shared_state.py": [
+        (22, 4, "RTX008"),
+        (23, 4, "RTX008"),
+        (24, 4, "RTX008"),
+    ],
+    "rtx009_unit_flow.py": [(24, 18, "RTX009"), (25, 4, "RTX009")],
+    "rtx010_trace_emit.py": [
+        (15, 41, "RTX010"),
+        (16, 66, "RTX010"),
+        (17, 22, "RTX010"),
+    ],
+}
+
+
+def analyze_fixture(name, **kwargs):
+    return analyze_paths([FIXTURES / name], **kwargs)
+
+
+def analyze_source(source, path="src/repro/snippet.py", **kwargs):
+    return analyze_modules([parse_source(source, path=path)], **kwargs)
+
+
+class TestFixtureFiles:
+    @pytest.mark.parametrize("name", sorted(FIXTURE_FINDINGS))
+    def test_fixture_fires_exactly_its_rule(self, name):
+        findings = analyze_fixture(name)
+        got = [(f.line, f.col, f.rule.rule_id) for f in findings]
+        assert got == FIXTURE_FINDINGS[name]
+
+    def test_every_analyze_rule_has_a_fixture(self):
+        covered = {
+            rule_id
+            for locs in FIXTURE_FINDINGS.values()
+            for (_, _, rule_id) in locs
+        }
+        assert covered == set(ANALYZE_RULE_IDS)
+
+    def test_fixture_list_matches_directory(self):
+        on_disk = {p.name for p in FIXTURES.glob("*.py")}
+        assert on_disk == set(FIXTURE_FINDINGS)
+
+    def test_messages_name_the_offending_symbols(self):
+        (finding,) = analyze_fixture("rtx007_cache_key.py")
+        assert "'beta'" in finding.message
+        assert "WorkUnit.params" in finding.message
+        messages = [f.message for f in analyze_fixture("rtx008_shared_state.py")]
+        assert any("_RESULTS" in m for m in messages)
+        assert any("_SEEN" in m for m in messages)
+        assert any("_DEFAULTS" in m for m in messages)
+
+
+class TestTreeClean:
+    """The real tree must analyze clean — fixing findings is part of the
+    contract, so a new finding here is a regression, not noise."""
+
+    def test_src_tree_has_no_findings(self):
+        assert analyze_paths([REPO_SRC]) == []
+
+
+class TestRuleFiltering:
+    def test_select_limits_to_one_rule(self):
+        findings = analyze_fixture("rtx008_shared_state.py", select={"RTX009"})
+        assert findings == []
+
+    def test_ignore_drops_a_rule(self):
+        findings = analyze_fixture("rtx008_shared_state.py", ignore={"RTX008"})
+        assert findings == []
+
+    def test_select_keeps_the_selected_rule(self):
+        findings = analyze_fixture("rtx008_shared_state.py", select={"RTX008"})
+        assert len(findings) == 3
+
+
+WAIVED_SHARED_STATE = '''\
+_CACHE = {}
+
+
+def _worker(unit):
+    _CACHE[unit] = 1  # repro-check: allow RTX008
+    return unit
+
+
+def run(pool, units):
+    return [pool.submit(_worker, u) for u in units]
+'''
+
+
+class TestWaivers:
+    def test_inline_allow_suppresses_analyze_findings(self):
+        assert analyze_source(WAIVED_SHARED_STATE) == []
+
+    def test_without_waiver_the_same_code_is_flagged(self):
+        source = WAIVED_SHARED_STATE.replace("  # repro-check: allow RTX008", "")
+        findings = analyze_source(source)
+        assert [f.rule.rule_id for f in findings] == ["RTX008"]
+
+
+class TestCacheKeyPass:
+    def test_takes_options_false_is_flagged_at_the_sweep(self):
+        source = FIXTURES.joinpath("rtx007_cache_key.py").read_text()
+        source = source.replace("takes_options=True", "takes_options=False")
+        findings = analyze_source(source, path="src/repro/experiments/ext_fx.py")
+        assert [f.rule.rule_id for f in findings] == ["RTX007"]
+        assert "takes_options=False" in findings[0].message
+
+    def test_dead_cli_flag_and_unflagged_option(self):
+        experiments = parse_source(
+            "from repro.experiments.base import SweepSpec, WorkUnit, "
+            "attach_sweep, register\n"
+            "\n"
+            "\n"
+            '@register("exp-x", "X", options=("alpha", "delta"))\n'
+            "def run_x(scale, seed, options=None):\n"
+            "    return {}\n"
+            "\n"
+            "\n"
+            "def _units(scale, seed, options):\n"
+            "    return [\n"
+            '        WorkUnit("exp-x", "k", '
+            'params={"alpha": options.get("alpha"), '
+            '"delta": options.get("delta")}, seed=seed)\n'
+            "    ]\n"
+            "\n"
+            "\n"
+            "def _run_unit(unit):\n"
+            "    return {}\n"
+            "\n"
+            "\n"
+            "def _combine(results, scale, seed):\n"
+            "    return {}\n"
+            "\n"
+            "\n"
+            'attach_sweep("exp-x", SweepSpec(units=_units, run_unit=_run_unit, '
+            "combine=_combine, takes_options=True))\n",
+            path="src/repro/experiments/ext_x.py",
+        )
+        cli = parse_source(
+            "_OPTION_FLAGS = (\n"
+            '    ("--alpha", "alpha", None, "used"),\n'
+            '    ("--gamma", "gamma", None, "dead"),\n'
+            ")\n",
+            path="src/repro/cli.py",
+        )
+        findings = analyze_modules([experiments, cli])
+        messages = {f.message for f in findings}
+        assert any("--gamma" in m and "dead" in m for m in messages)
+        assert any(
+            "'delta'" in m and "_OPTION_FLAGS" in m for m in messages
+        )
+        assert all(f.rule.rule_id == "RTX007" for f in findings)
+        assert len(findings) == 2
+
+    def test_taint_follows_helper_calls(self):
+        source = (
+            "from repro.experiments.base import SweepSpec, WorkUnit, "
+            "attach_sweep, register\n"
+            "\n"
+            "\n"
+            '@register("exp-h", "H", options=("alpha",))\n'
+            "def run_h(scale, seed, options=None):\n"
+            "    return {}\n"
+            "\n"
+            "\n"
+            "def _expand(spec):\n"
+            "    return [spec, spec]\n"
+            "\n"
+            "\n"
+            "def _units(scale, seed, options):\n"
+            '    values = _expand(options.get("alpha"))\n'
+            "    return [\n"
+            '        WorkUnit("exp-h", str(v), params={"alpha": v}, seed=seed)\n'
+            "        for v in values\n"
+            "    ]\n"
+            "\n"
+            "\n"
+            "def _run_unit(unit):\n"
+            "    return {}\n"
+            "\n"
+            "\n"
+            "def _combine(results, scale, seed):\n"
+            "    return {}\n"
+            "\n"
+            "\n"
+            'attach_sweep("exp-h", SweepSpec(units=_units, run_unit=_run_unit, '
+            "combine=_combine, takes_options=True))\n"
+        )
+        assert analyze_source(source, path="src/repro/experiments/ext_h.py") == []
+
+
+class TestUnitFlowPass:
+    def test_comparison_mixing(self):
+        findings = analyze_source(
+            "def late(elapsed_ms, budget_us):\n"
+            "    return elapsed_ms > budget_us\n"
+        )
+        assert [f.rule.rule_id for f in findings] == ["RTX009"]
+        assert "comparison mixes" in findings[0].message
+
+    def test_call_boundary_argument_mismatch(self):
+        findings = analyze_source(
+            "def wait(timeout_us):\n"
+            "    return timeout_us\n"
+            "\n"
+            "\n"
+            "def go(delay_ms):\n"
+            "    return wait(delay_ms)\n"
+        )
+        assert [f.rule.rule_id for f in findings] == ["RTX009"]
+        assert "`timeout_us`" in findings[0].message
+
+    def test_known_wall_clock_calls_return_seconds(self):
+        findings = analyze_source(
+            "import time\n"
+            "\n"
+            "\n"
+            "def measure():\n"
+            "    start = time.perf_counter()\n"
+            "    elapsed_us = time.perf_counter() - start\n"
+            "    return elapsed_us\n"
+        )
+        assert [f.rule.rule_id for f in findings] == ["RTX009"]
+        assert "seconds" in findings[0].message
+
+    def test_explicit_conversion_is_silent(self):
+        assert analyze_source(
+            "def convert(delay_ms):\n"
+            "    delay_us = delay_ms * 1000.0\n"
+            "    back_ms = delay_us * 0.001\n"
+            "    return delay_us + 1.0, back_ms\n"
+        ) == []
+
+    def test_min_max_mixing(self):
+        findings = analyze_source(
+            "def clamp(slack_us, budget_ms):\n"
+            "    return min(slack_us, budget_ms)\n"
+        )
+        assert [f.rule.rule_id for f in findings] == ["RTX009"]
+        assert "min() mixes" in findings[0].message
+
+    def test_inferred_return_unit_crosses_modules(self):
+        helper = parse_source(
+            "SUBFRAME_US = 1000.0\n"
+            "\n"
+            "\n"
+            "def air_time(num):\n"
+            "    return num * SUBFRAME_US\n",
+            path="src/repro/lte/timing.py",
+        )
+        # air_time has no suffix: its µs return is *inferred*, and the
+        # mismatch only exists across the module boundary.
+        user = parse_source(
+            "from repro.lte.timing import air_time\n"
+            "\n"
+            "\n"
+            "def window(num):\n"
+            "    span_ms = air_time(num)\n"
+            "    return span_ms\n",
+            path="src/repro/sched/windows.py",
+        )
+        findings = analyze_modules([helper, user])
+        assert [f.rule.rule_id for f in findings] == ["RTX009"]
+        assert "`span_ms`" in findings[0].message
+
+
+class TestTraceEmitPass:
+    def test_resolved_constant_kind_is_accepted(self):
+        assert analyze_source(
+            "from repro.obs.events import DEADLINE, TraceEvent\n"
+            "\n"
+            "\n"
+            "def emit(now_us, core):\n"
+            "    return TraceEvent(DEADLINE, now_us, core, "
+            'args={"missed": True})\n'
+        ) == []
+
+    def test_args_dict_keys_are_checked(self):
+        findings = analyze_source(
+            "from repro.obs.events import TraceEvent\n"
+            "\n"
+            "\n"
+            "def emit(now_us, core):\n"
+            '    return TraceEvent("deadline", now_us, core, '
+            'args={"mised": True})\n'
+        )
+        assert [f.rule.rule_id for f in findings] == ["RTX010"]
+        assert "'mised'" in findings[0].message
+
+    def test_vocab_modules_are_exempt(self):
+        assert analyze_source(
+            "from repro.obs.events import TraceEvent\n"
+            "\n"
+            "\n"
+            "def make(now_us, core):\n"
+            '    return TraceEvent("not-a-kind", now_us, core)\n',
+            path="src/repro/obs/helpers.py",
+        ) == []
+
+
+class TestBaseline:
+    def findings(self):
+        return analyze_fixture("rtx008_shared_state.py")
+
+    def test_roundtrip_suppresses_everything(self, tmp_path):
+        findings = self.findings()
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, findings)
+        entries = load_baseline(baseline)
+        new, baselined, stale = split_by_baseline(findings, entries)
+        assert new == [] and stale == []
+        assert len(baselined) == len(findings)
+
+    def test_partial_baseline_reports_the_rest_as_new(self):
+        findings = self.findings()
+        entries = [finding_key(findings[0])]
+        new, baselined, stale = split_by_baseline(findings, entries)
+        assert len(new) == len(findings) - 1
+        assert len(baselined) == 1 and stale == []
+
+    def test_fixed_findings_surface_as_stale_entries(self):
+        findings = self.findings()
+        ghost = dict(finding_key(findings[0]))
+        ghost["message"] = "a finding that no longer exists"
+        new, baselined, stale = split_by_baseline(findings, [ghost])
+        assert len(new) == len(findings)
+        assert baselined == [] and stale == [ghost]
+
+    def test_baseline_key_ignores_line_numbers(self):
+        findings = self.findings()
+        key = finding_key(findings[0])
+        assert set(key) == {"path", "rule", "message"}
+
+    def test_report_json_shape(self):
+        findings = self.findings()
+        report = report_json(
+            findings[1:], baselined=findings[:1], stale=[],
+            baseline_path="b.json",
+        )
+        assert report["tool"] == "repro.check analyze"
+        assert report["counts"] == {"RTX008": 2}
+        assert len(report["findings"]) == 2
+        assert report["baseline"]["suppressed"] == 1
+        first = report["findings"][0]
+        assert set(first) == {"path", "line", "col", "rule", "name", "message"}
+
+
+class TestCli:
+    def test_fixture_exits_nonzero(self, capsys):
+        code = main(
+            ["analyze", "--no-baseline", str(FIXTURES / "rtx009_unit_flow.py")]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "RTX009" in out
+
+    def test_tree_exits_zero(self, capsys):
+        assert main(["analyze", "--no-baseline", str(REPO_SRC)]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_json_format_is_parseable(self, capsys):
+        code = main(
+            [
+                "analyze", "--no-baseline", "--format", "json",
+                str(FIXTURES / "rtx010_trace_emit.py"),
+            ]
+        )
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["counts"] == {"RTX010": 3}
+
+    def test_select_filters_on_analyze(self, capsys):
+        code = main(
+            [
+                "analyze", "--no-baseline", "--select", "RTX007",
+                str(FIXTURES / "rtx008_shared_state.py"),
+            ]
+        )
+        assert code == 0
+
+    def test_unknown_rule_id_is_a_usage_error(self, capsys):
+        code = main(["analyze", "--select", "RTX999", str(FIXTURES)])
+        assert code == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_missing_path_is_a_usage_error(self, capsys):
+        assert main(["analyze", "no/such/path.py"]) == 2
+
+    def test_syntax_error_is_a_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        assert main(["analyze", "--no-baseline", str(bad)]) == 2
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        fixture = FIXTURES / "rtx008_shared_state.py"
+        baseline = tmp_path / "accepted.json"
+        code = main(
+            ["analyze", "--baseline", str(baseline), "--write-baseline",
+             str(fixture)]
+        )
+        assert code == 0 and baseline.is_file()
+        # With the baseline in force the same findings are suppressed...
+        code = main(["analyze", "--baseline", str(baseline), str(fixture)])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "baselined finding(s) suppressed" in err
+        # ...and --no-baseline surfaces them again.
+        assert main(["analyze", "--no-baseline", str(fixture)]) == 1
+
+    def test_default_baseline_picked_up_from_cwd(self, tmp_path, capsys,
+                                                 monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        fixture = FIXTURES / "rtx009_unit_flow.py"
+        assert main(["analyze", "--write-baseline", str(fixture)]) == 0
+        assert (tmp_path / ".repro-check-baseline.json").is_file()
+        assert main(["analyze", str(fixture)]) == 0
+
+    def test_stale_entries_reported(self, tmp_path, capsys):
+        baseline = tmp_path / "stale.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "entries": [
+                        {"path": "gone.py", "rule": "RTX008",
+                         "message": "was fixed"},
+                    ],
+                }
+            )
+        )
+        clean = tmp_path / "clean.py"
+        clean.write_text("def ok():\n    return 1\n")
+        code = main(["analyze", "--baseline", str(baseline), str(clean)])
+        assert code == 0
+        assert "stale baseline entr" in capsys.readouterr().err
+
+    def test_committed_repo_baseline_is_empty(self):
+        committed = TESTS_DIR.parents[1] / ".repro-check-baseline.json"
+        payload = json.loads(committed.read_text())
+        assert payload["entries"] == []

@@ -6,9 +6,18 @@ from pathlib import Path
 
 import pytest
 
-from repro.check import Finding, RULES, RULES_BY_ID, lint_file, lint_paths, lint_source
+from repro.check import (
+    Finding,
+    RULES,
+    RULES_BY_ID,
+    lint_file,
+    lint_module,
+    lint_paths,
+    lint_source,
+    parse_source,
+)
 from repro.check.cli import main
-from repro.check.rules import explain, rule_table
+from repro.check.rules import LINT_RULE_IDS, explain, rule_table
 
 FIXTURES = Path(__file__).parent / "fixtures"
 REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
@@ -210,6 +219,33 @@ class TestWaivers:
         assert rule_ids(lint_source(src)) == ["RTX001"]
 
 
+MIXED_SRC = "import random\nimport time\n\nt = time.time()\n"
+
+
+class TestRuleFiltering:
+    def test_select_keeps_only_listed_rules(self):
+        module = parse_source(MIXED_SRC, path="pkg/mod.py")
+        assert rule_ids(lint_module(module, select={"RTX001"})) == ["RTX001"]
+
+    def test_ignore_drops_listed_rules(self):
+        module = parse_source(MIXED_SRC, path="pkg/mod.py")
+        assert rule_ids(lint_module(module, ignore={"RTX001"})) == ["RTX002"]
+
+    def test_cli_select_and_ignore(self, tmp_path, capsys):
+        target = tmp_path / "mixed.py"
+        target.write_text(MIXED_SRC)
+        assert main(["lint", "--select", "RTX002", str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "RTX002" in out and "RTX001" not in out
+        assert main(["lint", "--ignore", "RTX001,RTX002", str(target)]) == 0
+
+    def test_cli_unknown_rule_id_is_usage_error(self, tmp_path, capsys):
+        target = tmp_path / "mixed.py"
+        target.write_text(MIXED_SRC)
+        assert main(["lint", "--select", "RTX042", str(target)]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+
 class TestFindingRendering:
     def test_render_is_ruff_shaped(self):
         finding = lint_source("import random\n", path="pkg/mod.py")[0]
@@ -240,7 +276,7 @@ class TestRuleTable:
             explain("RTX999")
 
     def test_ids_unique_and_sequential(self):
-        assert list(RULES_BY_ID) == [f"RTX00{i}" for i in range(1, len(RULES) + 1)]
+        assert list(RULES_BY_ID) == [f"RTX{i:03d}" for i in range(1, len(RULES) + 1)]
 
 
 class TestFixtureFiles:
@@ -273,10 +309,14 @@ class TestCli:
         assert f"{path}:" in out
 
     def test_lint_directory_recurses(self, capsys):
+        # The tree includes the analyze/ fixtures, which are lint-clean:
+        # only the per-file lint rules (RTX001-006) may appear.
         assert main(["lint", str(FIXTURES)]) == 1
         out = capsys.readouterr().out
-        for rule in RULES:
-            assert rule.rule_id in out
+        for rule_id in LINT_RULE_IDS:
+            assert rule_id in out
+        fired = {line.split()[1] for line in out.splitlines() if " RTX" in line}
+        assert fired == set(LINT_RULE_IDS)
 
     def test_missing_path_is_usage_error(self, capsys):
         assert main(["lint", "no/such/dir"]) == 2

@@ -1,0 +1,71 @@
+"""Tests for the shared parse-once module loader (repro.check.parse)."""
+
+import ast
+
+from repro.check.analyze import analyze_modules
+from repro.check.lint import lint_modules
+from repro.check.parse import (
+    iter_python_files,
+    load_modules,
+    module_name_for,
+    modules_by_name,
+    parse_source,
+)
+
+
+class TestModuleNaming:
+    def test_anchored_at_repro_package(self):
+        assert module_name_for("src/repro/sched/rtopex.py") == "repro.sched.rtopex"
+
+    def test_init_names_the_package(self):
+        assert module_name_for("src/repro/obs/__init__.py") == "repro.obs"
+
+    def test_loose_file_uses_its_stem(self):
+        assert module_name_for("tests/scratch/fixture_a.py") == "fixture_a"
+
+    def test_modules_by_name_last_wins(self):
+        first = parse_source("A = 1\n", path="a/mod.py")
+        second = parse_source("A = 2\n", path="b/mod.py")
+        index = modules_by_name([first, second])
+        assert index["mod"] is second
+
+
+class TestFileDiscovery:
+    def test_skips_pycache_and_sorts(self, tmp_path):
+        (tmp_path / "b.py").write_text("B = 1\n")
+        (tmp_path / "a.py").write_text("A = 1\n")
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "a.cpython-311.py").write_text("boom(\n")
+        files = iter_python_files([tmp_path])
+        assert [f.name for f in files] == ["a.py", "b.py"]
+
+    def test_explicit_file_passes_through(self, tmp_path):
+        target = tmp_path / "one.py"
+        target.write_text("X = 1\n")
+        assert iter_python_files([target]) == [target]
+
+
+class TestParseOnce:
+    """lint + analyze over the same tree must cost one parse per file."""
+
+    def test_lint_and_analyze_share_parsed_modules(self, tmp_path, monkeypatch):
+        (tmp_path / "first.py").write_text("import random\n\nVALUE = 1\n")
+        (tmp_path / "second.py").write_text("def f(delay_us):\n    return delay_us\n")
+
+        calls = []
+        real_parse = ast.parse
+
+        def counting_parse(source, *args, **kwargs):
+            calls.append(kwargs.get("filename") or (args[0] if args else "?"))
+            return real_parse(source, *args, **kwargs)
+
+        monkeypatch.setattr(ast, "parse", counting_parse)
+
+        modules = load_modules([tmp_path])
+        assert len(calls) == 2
+
+        lint_modules(modules)
+        lint_modules(modules, select={"RTX001"})
+        analyze_modules(modules)
+        assert len(calls) == 2  # no consumer re-parsed anything
