@@ -31,8 +31,12 @@ import tempfile
 from pathlib import Path
 from typing import Dict, List, Optional
 
-#: Benchmark files the baseline tracks: the engine + planner hot path.
-BENCH_FILES = ("benchmarks/test_bench_engine.py", "benchmarks/test_bench_planner.py")
+#: Benchmark files the baseline tracks: engine + planner + workload pipeline.
+BENCH_FILES = (
+    "benchmarks/test_bench_engine.py",
+    "benchmarks/test_bench_planner.py",
+    "benchmarks/test_bench_workload.py",
+)
 #: Default regression gate: fail on >30% median slowdown.
 DEFAULT_THRESHOLD = 0.30
 #: Canonical engine-stats workload (subframes per basestation).
@@ -101,6 +105,85 @@ def summarize(bench_json: Dict[str, object]) -> Dict[str, Dict[str, object]]:
     return table
 
 
+def group_medians(table: Dict[str, Dict[str, object]]) -> Dict[str, float]:
+    """Median-of-medians per benchmark group (ns)."""
+    by_group: Dict[str, List[float]] = {}
+    for entry in table.values():
+        by_group.setdefault(str(entry["group"]), []).append(float(entry["median_ns"]))
+    out: Dict[str, float] = {}
+    for group, values in by_group.items():
+        values.sort()
+        mid = len(values) // 2
+        if len(values) % 2:
+            out[group] = values[mid]
+        else:
+            out[group] = 0.5 * (values[mid - 1] + values[mid])
+    return out
+
+
+def write_delta_table(
+    path: str,
+    base_table: Dict[str, Dict[str, object]],
+    fresh_table: Dict[str, Dict[str, object]],
+    threshold: float,
+) -> None:
+    """Write the per-benchmark and per-group delta table as markdown."""
+    lines = [
+        "# Benchmark delta",
+        "",
+        f"Gate: median regression > {threshold:.0%} fails.",
+        "",
+        "## Per benchmark",
+        "",
+        "| benchmark | baseline (ms) | fresh (ms) | ratio | verdict |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for key in sorted(set(base_table) | set(fresh_table)):
+        base = base_table.get(key)
+        entry = fresh_table.get(key)
+        if base is None:
+            fresh_ns = float(entry["median_ns"])
+            lines.append(f"| {key} | — | {fresh_ns / 1e6:.3f} | — | new |")
+            continue
+        base_ns = float(base["median_ns"])
+        if entry is None:
+            lines.append(f"| {key} | {base_ns / 1e6:.3f} | — | — | MISSING |")
+            continue
+        fresh_ns = float(entry["median_ns"])
+        ratio = fresh_ns / base_ns if base_ns else float("inf")
+        if ratio > 1.0 + threshold:
+            verdict = "REGRESSION"
+        elif ratio < 1.0 - threshold:
+            verdict = "improvement"
+        else:
+            verdict = "ok"
+        lines.append(
+            f"| {key} | {base_ns / 1e6:.3f} | {fresh_ns / 1e6:.3f} "
+            f"| {ratio:.2f}x | {verdict} |"
+        )
+    lines += [
+        "",
+        "## Per group (median of medians)",
+        "",
+        "| group | baseline (ms) | fresh (ms) | ratio |",
+        "|---|---:|---:|---:|",
+    ]
+    base_groups = group_medians(base_table)
+    fresh_groups = group_medians(fresh_table)
+    for group in sorted(set(base_groups) | set(fresh_groups)):
+        base_ns = base_groups.get(group)
+        fresh_ns = fresh_groups.get(group)
+        base_ms = f"{base_ns / 1e6:.3f}" if base_ns is not None else "—"
+        fresh_ms = f"{fresh_ns / 1e6:.3f}" if fresh_ns is not None else "—"
+        ratio = (
+            f"{fresh_ns / base_ns:.2f}x" if base_ns and fresh_ns is not None else "—"
+        )
+        lines.append(f"| {group} | {base_ms} | {fresh_ms} | {ratio} |")
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    print(f"delta table written to {path}")
+
+
 def next_baseline_path() -> Path:
     """First unused BENCH_<n>.json slot in the repo root."""
     n = 0
@@ -126,13 +209,20 @@ def capture(out: Optional[str], pytest_args: Optional[List[str]] = None) -> Path
     return path
 
 
-def compare(baseline_path: str, fresh_path: str, threshold: float) -> int:
+def compare(
+    baseline_path: str,
+    fresh_path: str,
+    threshold: float,
+    delta_out: Optional[str] = None,
+) -> int:
     with open(baseline_path) as handle:
         baseline = json.load(handle)
     with open(fresh_path) as handle:
         fresh = json.load(handle)
     base_table = baseline.get("benchmarks", {})
     fresh_table = fresh.get("benchmarks", {})
+    if delta_out:
+        write_delta_table(delta_out, base_table, fresh_table, threshold)
 
     failures: List[str] = []
     for key in sorted(base_table):
@@ -157,6 +247,16 @@ def compare(baseline_path: str, fresh_path: str, threshold: float) -> int:
     for key in sorted(set(fresh_table) - set(base_table)):
         print(f"{'new':12s} {key}: {float(fresh_table[key]['median_ns']) / 1e6:.3f} ms "
               "(not in baseline)")
+
+    base_groups = group_medians(base_table)
+    fresh_groups = group_medians(fresh_table)
+    for group in sorted(base_groups):
+        base_ns = base_groups[group]
+        fresh_ns = fresh_groups.get(group)
+        if fresh_ns is None or not base_ns:
+            continue
+        print(f"{'group':12s} {group}: {base_ns / 1e6:.3f} ms -> "
+              f"{fresh_ns / 1e6:.3f} ms ({fresh_ns / base_ns:.2f}x median-of-medians)")
 
     if failures:
         print(f"\n{len(failures)} regression(s) beyond the "
@@ -184,12 +284,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     cmp_parser.add_argument("fresh", help="freshly captured json")
     cmp_parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
                             help="allowed median slowdown fraction (default 0.30)")
+    cmp_parser.add_argument("--delta-out", default=None, metavar="PATH",
+                            help="write a markdown delta table (per benchmark + group)")
 
     args = parser.parse_args(argv)
     if args.command == "capture":
         capture(args.out)
         return 0
-    return compare(args.baseline, args.fresh, args.threshold)
+    return compare(args.baseline, args.fresh, args.threshold, args.delta_out)
 
 
 if __name__ == "__main__":

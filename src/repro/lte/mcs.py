@@ -15,6 +15,7 @@ monotonicity and the load range the paper's evaluation exercises.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.constants import RES_PER_PRB
 
@@ -102,11 +103,14 @@ def modulation_order(mcs: int) -> int:
     return mcs_entry(mcs).modulation_order
 
 
+@lru_cache(maxsize=None)
 def transport_block_size(mcs: int, num_prbs: int = _REFERENCE_PRBS) -> int:
     """Transport block size in bits for ``mcs`` over ``num_prbs`` PRBs.
 
     Exact for 50 PRBs; proportional per-PRB scaling (rounded to a byte)
-    otherwise.  Monotone in both arguments.
+    otherwise.  Monotone in both arguments.  Cached: the workload
+    builders evaluate it for every (grant, subframe) pair but the key
+    space is tiny (28 MCS x the PRB splits in use).
     """
     if num_prbs < 1:
         raise ValueError("num_prbs must be >= 1")
@@ -119,6 +123,7 @@ def transport_block_size(mcs: int, num_prbs: int = _REFERENCE_PRBS) -> int:
     return max(16, int(scaled // 8) * 8)
 
 
+@lru_cache(maxsize=None)
 def subcarrier_load(mcs: int, num_prbs: int = _REFERENCE_PRBS) -> float:
     """Subcarrier load ``D``: data bits per resource element.
 

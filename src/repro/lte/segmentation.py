@@ -16,7 +16,9 @@ granularity, so we implement the standard segmentation rule faithfully:
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.constants import CB_CRC_BITS, MAX_CODE_BLOCK_BITS, TB_CRC_BITS
 
@@ -38,18 +40,15 @@ def smallest_block_size_at_least(bits: int) -> int:
     """Smallest valid turbo block size K >= ``bits``."""
     if bits > TURBO_BLOCK_SIZES[-1]:
         raise ValueError(f"{bits} exceeds the maximum turbo block size")
-    for k in TURBO_BLOCK_SIZES:
-        if k >= bits:
-            return k
-    raise AssertionError("unreachable: table covers [40, 6144]")
+    return TURBO_BLOCK_SIZES[bisect_left(TURBO_BLOCK_SIZES, bits)]
 
 
 def largest_block_size_below(bits: int) -> int:
     """Largest valid turbo block size K < ``bits`` (K- in the standard)."""
-    candidates = [k for k in TURBO_BLOCK_SIZES if k < bits]
-    if not candidates:
+    index = bisect_left(TURBO_BLOCK_SIZES, bits)
+    if index == 0:
         raise ValueError(f"no turbo block size below {bits}")
-    return candidates[-1]
+    return TURBO_BLOCK_SIZES[index - 1]
 
 
 @dataclass(frozen=True)
@@ -88,11 +87,15 @@ class SegmentationResult:
             raise ValueError("c_plus + c_minus must equal num_code_blocks")
 
 
+@lru_cache(maxsize=None)
 def segment_transport_block(tbs_bits: int) -> SegmentationResult:
     """Segment a transport block of ``tbs_bits`` payload bits.
 
     Follows TS 36.212 sec. 5.1.2.  For the paper's headline case
     (TBS 31704 at MCS 27 / 50 PRBs) this yields C = 6 code blocks.
+    Cached: the result is a pure function of the TBS, the key space is
+    the MCS/PRB grid in use, and both the workload builders and the PHY
+    chain (encode *and* decode of the same grant) re-ask constantly.
     """
     if tbs_bits < 1:
         raise ValueError("tbs_bits must be positive")

@@ -9,7 +9,7 @@ time at the compute node (subframe boundary + transport latency).
 
 from __future__ import annotations
 
-from functools import cached_property
+from functools import cached_property, lru_cache
 from dataclasses import dataclass, field
 
 from repro.constants import RX_BUDGET_US, SUBFRAME_US
@@ -61,6 +61,23 @@ class UplinkGrant:
     def code_blocks(self) -> int:
         """Number of independently decodable turbo code blocks."""
         return num_code_blocks(self.tbs_bits)
+
+
+@lru_cache(maxsize=None)
+def interned_grant(
+    mcs: int, num_prbs: int = 50, num_antennas: int = 2, service: str = "embb"
+) -> UplinkGrant:
+    """A shared :class:`UplinkGrant` instance for a grant shape.
+
+    Grants are frozen value objects, so workload builders that create
+    one per (basestation, subframe) slot can share a single instance per
+    distinct (mcs, prbs, antennas, service) tuple — the key space the
+    evaluation exercises is tiny, while the construction (with its
+    eager MCS validation) is not free at fleet scale.
+    """
+    return UplinkGrant(
+        mcs=mcs, num_prbs=num_prbs, num_antennas=num_antennas, service=service
+    )
 
 
 @dataclass(frozen=True)

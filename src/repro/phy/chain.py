@@ -35,7 +35,7 @@ from repro.phy.ofdm import (
 from repro.phy.qam import qam_demap_llr, qam_map
 from repro.phy.ratematch import RateMatchConfig, bits_per_code_block, rate_dematch, rate_match
 from repro.phy.sequences import descramble_llrs, pusch_c_init, scramble
-from repro.phy.turbo import TurboCodec
+from repro.phy.turbo import turbo_codec
 
 
 def _segment_payload(payload_crc: np.ndarray, seg: SegmentationResult) -> List[np.ndarray]:
@@ -140,7 +140,7 @@ class UplinkTransmitter:
 
         coded_parts = []
         for block, e_bits in zip(blocks, shares):
-            codec = TurboCodec(block.size, self.max_iterations)
+            codec = turbo_codec(block.size, self.max_iterations)
             coded = codec.encode(block)
             coded_parts.append(rate_match(coded, RateMatchConfig(block.size, e_bits)))
         coded_bits = np.concatenate(coded_parts)
@@ -183,8 +183,10 @@ class UplinkReceiver:
             raise ValueError("observations must be (antennas, symbols, samples)")
 
         # ---- FFT task: independent per antenna (and per symbol). --------
+        # One batched FFT over (antennas, symbols); bit-identical to the
+        # per-antenna loop (each 1-D transform is computed independently).
         demod = OfdmDemodulator(self.grid)
-        grids = np.stack([demod.demodulate(ant) for ant in observations])
+        grids = demod.demodulate_batch(observations)
 
         # ---- demod task: estimate, combine, demap. -----------------------
         if channel_gains is None:
@@ -209,14 +211,19 @@ class UplinkReceiver:
         blocks: List[np.ndarray] = []
         iterations: List[int] = []
         cb_pass: List[bool] = []
-        cursor = 0
+        # Array-computed slice bounds instead of a running cursor.
+        offsets = np.zeros(len(shares) + 1, dtype=np.int64)
+        np.cumsum(shares, out=offsets[1:])
         crc_kind = "24b" if seg.num_code_blocks > 1 else "24a"
-        for size, e_bits in zip(seg.block_sizes, shares):
-            chunk = llrs[cursor : cursor + e_bits]
-            cursor += e_bits
-            codec = TurboCodec(size, self.max_iterations)
+
+        def checker(bits: np.ndarray) -> bool:
+            return crc_check(bits, crc_kind)
+
+        for i, (size, e_bits) in enumerate(zip(seg.block_sizes, shares)):
+            chunk = llrs[offsets[i] : offsets[i + 1]]
+            codec = turbo_codec(size, self.max_iterations)
             soft = rate_dematch(chunk, RateMatchConfig(size, e_bits))
-            result = codec.decode(soft, crc_checker=lambda b: crc_check(b, crc_kind))
+            result = codec.decode(soft, crc_checker=checker)
             blocks.append(result.bits)
             iterations.append(result.iterations)
             cb_pass.append(result.crc_pass)

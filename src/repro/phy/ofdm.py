@@ -93,6 +93,27 @@ class OfdmDemodulator:
         freq = np.fft.fft(time_symbols[:, cp:], axis=1) / np.sqrt(nfft)
         return freq[:, occupied_bins(nfft, self.grid.num_subcarriers)]
 
+    def demodulate_batch(self, time_symbols: np.ndarray) -> np.ndarray:
+        """Demodulate all antennas in one FFT call.
+
+        ``time_symbols`` is ``(antennas, 14, fft+cp)``; returns
+        ``(antennas, 14, subcarriers)``.  pocketfft computes each 1-D
+        transform independently of its batch shape, so every row equals
+        :meth:`demodulate` of that antenna bit for bit (asserted by the
+        PHY tests).
+        """
+        nfft = self.grid.fft_size
+        cp = _cp_length(nfft)
+        time_symbols = np.asarray(time_symbols, dtype=np.complex128)
+        expected = (SYMBOLS_PER_SUBFRAME, nfft + cp)
+        if time_symbols.ndim != 3 or time_symbols.shape[1:] != expected:
+            raise ValueError(
+                f"expected shape (antennas, {expected[0]}, {expected[1]}), "
+                f"got {time_symbols.shape}"
+            )
+        freq = np.fft.fft(time_symbols[:, :, cp:], axis=2) / np.sqrt(nfft)
+        return freq[:, :, occupied_bins(nfft, self.grid.num_subcarriers)]
+
     def demodulate_symbol(self, time_symbol: np.ndarray) -> np.ndarray:
         """Demodulate a single OFDM symbol (one FFT subtask)."""
         return self.demodulate(

@@ -318,6 +318,19 @@ class TurboCodec:
         return TurboDecodeResult(bits=bits, iterations=iterations, crc_pass=passed)
 
 
+@lru_cache(maxsize=None)
+def turbo_codec(block_size: int, max_iterations: int = 4) -> TurboCodec:
+    """A shared :class:`TurboCodec` per ``(K, Lm)``.
+
+    The codec is stateless after construction (``encode``/``decode``
+    only read the QPP permutation), so callers that process one code
+    block at a time — the PHY chain builds a codec per block per
+    subframe — can share a single instance per key and skip the
+    permutation rebuild.
+    """
+    return TurboCodec(block_size, max_iterations)
+
+
 def bpsk_llrs(coded_bits: np.ndarray, snr_db: float, rng: np.random.Generator) -> np.ndarray:
     """Helper: BPSK-over-AWGN channel LLRs for coded bits (for tests).
 

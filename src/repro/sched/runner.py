@@ -45,6 +45,14 @@ def build_workload(
 ) -> List[SubframeJob]:
     """Materialize the per-subframe jobs for one experiment.
 
+    Dispatches to the array-native pipeline
+    (:mod:`repro.workload.soa`) whenever the mapper/iteration/timing
+    models are the stock types whose vectorized forms are proven
+    bit-identical; subclasses overriding the scalar hooks fall back to
+    :func:`build_workload_legacy`.  Both paths consume the RNG streams
+    identically and return equal job lists (asserted by the golden and
+    property tests), so callers never observe which one ran.
+
     Parameters
     ----------
     loads:
@@ -54,6 +62,56 @@ def build_workload(
         Optional per-(bs, subframe) additive jitter on top of the fixed
         ``config.transport_latency_us`` (e.g. drawn from the cloud
         model); zero by default, matching the paper's fixed-RTT runs.
+    """
+    fast = (
+        (mapper is None or type(mapper) is GrantMapper)
+        and (iteration_model is None or type(iteration_model) is IterationModel)
+        and (timing_model is None or type(timing_model) is LinearTimingModel)
+    )
+    if fast:
+        from repro.workload.soa import build_workload_arrays, materialize_jobs
+
+        arrays = build_workload_arrays(
+            config,
+            num_subframes,
+            seed=seed,
+            loads=loads,
+            timing_model=timing_model,
+            iteration_model=iteration_model,
+            noise_model=noise_model,
+            mapper=mapper,
+            transport_jitter=transport_jitter,
+        )
+        return materialize_jobs(arrays)
+    return build_workload_legacy(
+        config,
+        num_subframes,
+        seed=seed,
+        loads=loads,
+        timing_model=timing_model,
+        iteration_model=iteration_model,
+        noise_model=noise_model,
+        mapper=mapper,
+        transport_jitter=transport_jitter,
+    )
+
+
+def build_workload_legacy(
+    config: CRanConfig,
+    num_subframes: int,
+    seed: int = 2016,
+    loads: Optional[np.ndarray] = None,
+    timing_model: Optional[LinearTimingModel] = None,
+    iteration_model: Optional[IterationModel] = None,
+    noise_model: Optional[PlatformNoiseModel] = None,
+    mapper: Optional[GrantMapper] = None,
+    transport_jitter: Optional[np.ndarray] = None,
+) -> List[SubframeJob]:
+    """The scalar per-subframe builder (reference implementation).
+
+    Retained verbatim as the semantic ground truth for the SoA fast
+    path: the identity tests build the same experiment through both
+    and require equal job lists.
     """
     streams = RngStreams(seed)
     timing = timing_model if timing_model is not None else LinearTimingModel()

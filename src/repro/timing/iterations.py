@@ -162,6 +162,63 @@ class IterationModel:
             iterations[worst] = self.max_iterations
         return IterationDraw(iterations=iterations, crc_pass=success)
 
+    def draw_trace(
+        self,
+        mcs: np.ndarray,
+        snr_db: float,
+        rng: np.random.Generator,
+        block_offsets: np.ndarray,
+    ) -> "TraceDraw":
+        """Stream-exact batch of :meth:`draw_subframe` over an MCS trace.
+
+        Consumes ``rng``'s bitstream exactly as the per-subframe scalar
+        calls would — each subframe's ``2 * B + 1`` uniforms are drawn
+        as one array (numpy's scalar ``logistic``/``random`` consume one
+        double each off the same stream, and the logistic transform is
+        ``scale * log(u / (1 - u))``), and the CRC-failure path draws the
+        same bounded integer.  The per-MCS mean/success probabilities are
+        computed once instead of per subframe, and ``math.log`` keeps the
+        libm scalar semantics (``np.log`` may vectorize differently), so
+        the draws — and the generator state afterwards — are
+        bit-identical to the legacy loop.
+        """
+        mcs_list = np.asarray(mcs, dtype=np.int64).tolist()
+        offsets = np.asarray(block_offsets, dtype=np.int64).tolist()
+        means: dict = {}
+        success_p: dict = {}
+        scale = self.jitter_scale
+        p_spike = self.spike_probability
+        cap = self.max_iterations
+        log = math.log
+        iterations: List[int] = []
+        crc: List[bool] = []
+        for i, m in enumerate(mcs_list):
+            mean = means.get(m)
+            if mean is None:
+                mean = self.mean_iterations(m, snr_db)
+                means[m] = mean
+                success_p[m] = self.success_probability(m, snr_db)
+            num_blocks = offsets[i + 1] - offsets[i]
+            u = rng.random(2 * num_blocks + 1).tolist()
+            draws: List[int] = []
+            for k in range(num_blocks):
+                uu = u[2 * k]
+                value = mean + scale * log(uu / (1.0 - uu))
+                if u[2 * k + 1] < p_spike:
+                    value += 1.0
+                value = int(round(value))
+                draws.append(max(1, min(cap, value)))
+            success = u[2 * num_blocks] < success_p[m]
+            if not success:
+                worst = rng.integers(0, num_blocks)
+                draws[worst] = cap
+            iterations.extend(draws)
+            crc.append(success)
+        return TraceDraw(
+            iterations=np.asarray(iterations, dtype=np.int64),
+            crc_pass=np.asarray(crc, dtype=bool),
+        )
+
 
 @dataclass(frozen=True)
 class IterationDraw:
@@ -177,6 +234,19 @@ class IterationDraw:
     @property
     def total(self) -> int:
         return sum(self.iterations)
+
+
+@dataclass(frozen=True)
+class TraceDraw:
+    """Batched :class:`IterationDraw`: flat per-code-block iterations.
+
+    ``iterations`` concatenates every subframe's per-block draws in
+    trace order (the caller's ``block_offsets`` delimit subframes);
+    ``crc_pass`` holds one ACK/NACK outcome per subframe.
+    """
+
+    iterations: np.ndarray
+    crc_pass: np.ndarray
 
 
 def empirical_iteration_model(

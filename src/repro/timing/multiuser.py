@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-from repro.timing.model import LinearTimingModel
+from repro.timing.model import LinearTimingModel, duration_oracle
 from repro.timing.tasks import SubframeWork, SubtaskSpec, TaskSpec
 
 
@@ -90,6 +90,11 @@ def build_multiuser_work(
     prologue = model.decode_prologue_time(1) * effective_k
     # decode_prologue_time is linear in K, so evaluate at K=1 and scale.
 
+    # The oracle memoizes the per-code-block arithmetic below for stock
+    # models (same scalar formulas, so the floats are identical);
+    # subclasses overriding decode_subtask_time keep the direct path.
+    oracle = duration_oracle(model, max_iterations) if type(model) is LinearTimingModel else None
+
     subtasks: List[SubtaskSpec] = []
     all_iterations: List[int] = []
     for u, (grant, iterations) in enumerate(zip(grants, per_user_iterations)):
@@ -101,8 +106,13 @@ def build_multiuser_work(
         frac = grant.num_prbs / subframe_prbs
         load = grant.subcarrier_load  # bits per RE over the user's own PRBs
         for cb, l in enumerate(iterations):
-            duration = model.decode_subtask_time(load * frac, float(l), blocks)
-            planned = model.decode_subtask_time(load * frac, float(max_iterations), blocks)
+            if oracle is not None:
+                duration, planned = oracle.user_decode_us(
+                    grant.mcs, grant.num_prbs, subframe_prbs, int(l)
+                )
+            else:
+                duration = model.decode_subtask_time(load * frac, float(l), blocks)
+                planned = model.decode_subtask_time(load * frac, float(max_iterations), blocks)
             subtasks.append(
                 SubtaskSpec(name=f"decode/u{u}cb{cb}", duration_us=duration, planned_us=planned)
             )

@@ -11,11 +11,20 @@ load 0 to MCS 0.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
 from repro.lte.mcs import max_mcs, mcs_for_throughput, throughput_mbps
 from repro.lte.subframe import UplinkGrant
+
+
+@lru_cache(maxsize=None)
+def _throughput_thresholds(num_prbs: int) -> np.ndarray:
+    """Nominal throughput per MCS 0..max_mcs(), ascending (Mbps)."""
+    return np.array(
+        [throughput_mbps(m, num_prbs) for m in range(max_mcs() + 1)], dtype=np.float64
+    )
 
 
 @dataclass(frozen=True)
@@ -41,6 +50,22 @@ class GrantMapper:
             num_prbs=self.num_prbs,
             num_antennas=self.num_antennas,
         )
+
+    def mcs_for_trace(self, loads: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`mcs_for_load` over a whole load trace.
+
+        ``mcs_for_load`` picks the first MCS whose nominal throughput
+        reaches ``load * peak`` — exactly a left ``searchsorted`` into
+        the ascending per-MCS throughput table, so the two agree
+        elementwise (same float comparisons on the same float64 values).
+        """
+        loads = np.asarray(loads, dtype=np.float64)
+        if not (np.all(loads >= 0.0) and np.all(loads <= 1.0)):
+            raise ValueError("load must be in [0, 1]")
+        thresholds = _throughput_thresholds(self.num_prbs)
+        peak = throughput_mbps(self.mcs_cap, self.num_prbs)
+        mcs = np.searchsorted(thresholds, loads * peak, side="left")
+        return np.minimum(mcs, min(self.mcs_cap, max_mcs())).astype(np.int64)
 
     def grants_for_trace(self, loads: np.ndarray) -> list:
         """Vector version: one grant per trace sample."""

@@ -23,6 +23,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.constants import RX_BUDGET_US
+from repro.lte.subframe import interned_grant
 from repro.sched.base import CRanConfig, SubframeJob
 from repro.sim.rng import RngStreams
 from repro.workload.bursty import burst_envelope, shape_loads
@@ -115,11 +116,15 @@ def build_mixed_workload(
     assignment, shaped = mixed_loads(mix, loads, seed)
     jobs = build_workload(config, num_subframes, seed=seed, loads=shaped)
 
+    assign_list = assignment.tolist()
     tagged: List[SubframeJob] = []
     for job in jobs:
         sf = job.subframe
-        cls = mix.classes[int(assignment[sf.bs_id, sf.index])]
-        grant = replace(sf.grant, service=cls.name)
+        cls = mix.classes[assign_list[sf.bs_id][sf.index]]
+        # Equal to replace(sf.grant, service=...) but shares one grant
+        # instance per (mcs, class) — the SoA jobs intern grants, so the
+        # tagging pass should not explode them back into per-job copies.
+        grant = interned_grant(sf.grant.mcs, sf.grant.num_prbs, sf.grant.num_antennas, cls.name)
         subframe = replace(sf, grant=grant)
         tagged.append(
             replace(

@@ -16,7 +16,7 @@ from typing import TYPE_CHECKING, List, Optional
 import numpy as np
 
 from repro.lte.grid import GridConfig
-from repro.lte.subframe import Subframe, UplinkGrant
+from repro.lte.subframe import Subframe, interned_grant
 from repro.sched.base import CRanConfig, SubframeJob
 from repro.sim.rng import RngStreams
 from repro.timing.iterations import IterationModel
@@ -119,11 +119,16 @@ def build_multiuser_workload(
         mix_shares = np.array([c.share for c in mix.classes], dtype=np.float64)
         mix_shares = mix_shares / mix_shares.sum()
 
+    # One vectorized pass over the whole trace instead of a per-subframe
+    # table walk; elementwise identical to mcs_for_load (see mapping.py).
+    mcs_all = mapper.mcs_for_trace(loads).tolist()
+    load_all = loads.tolist()
+
     jobs: List[SubframeJob] = []
     for bs in range(config.num_basestations):
         for j in range(num_subframes):
-            load = float(loads[bs, j])
-            mcs = mapper.mcs_for_load(load)
+            load = load_all[bs][j]
+            mcs = mcs_all[bs][j]
             if full_prb:
                 occupied = 50
             else:
@@ -140,9 +145,9 @@ def build_multiuser_workload(
                 )
                 user_classes = [mix.classes[int(d)] for d in draws]
             grants = [
-                UplinkGrant(
-                    mcs=mcs, num_prbs=p, num_antennas=config.num_antennas,
-                    service=user_classes[u].name if user_classes else "embb",
+                interned_grant(
+                    mcs, p, config.num_antennas,
+                    user_classes[u].name if user_classes else "embb",
                 )
                 for u, p in enumerate(shares)
             ]

@@ -102,10 +102,14 @@ class CellularTraceGenerator:
         # stationary std equal to slow_std.
         rho = float(np.exp(-1.0 / cfg.correlation_ms))
         innovation_std = cfg.slow_std * np.sqrt(1.0 - rho**2)
-        slow = np.empty(num_subframes)
         state = rng.normal(scale=cfg.slow_std)
+        # One batched draw (bit-identical to per-step scalar normals);
+        # the recurrence itself stays scalar — a filtered implementation
+        # could reassociate the floating-point ops.
+        innovations = rng.normal(scale=innovation_std, size=num_subframes).tolist()
+        slow = np.empty(num_subframes)
         for t in range(num_subframes):
-            state = rho * state + rng.normal(scale=innovation_std)
+            state = rho * state + innovations[t]
             slow[t] = state
         fast = rng.normal(scale=cfg.fast_std, size=num_subframes)
         return clip01(cfg.mean + slow + fast)

@@ -1,12 +1,13 @@
 """Golden-trace identity: the perf work must not move a single byte.
 
-The engine batching and planner memoization are pure optimizations —
-the acceptance bar is that every scheduler's observable output is
-*byte-identical* to the pre-optimization tree.  This test pins that:
-all five ``table2`` schedulers run at scale 0.2 over the paper workload
-with full JSONL tracing, and both the streamed trace and the
-``SubframeRecord`` CSV are hashed against goldens captured before the
-optimization landed.
+The engine batching, planner memoization, and the array-native workload
+pipeline are pure optimizations — the acceptance bar is that every
+scheduler's observable output is *byte-identical* to the
+pre-optimization tree.  This test pins that: all six schedulers (the
+paper's five ``table2`` policies plus ``das``) run at scale 0.2 over
+the paper workload with full JSONL tracing, and both the streamed trace
+and the ``SubframeRecord`` CSV are hashed against goldens captured
+before the optimization landed.
 
 Regenerate (only for a change that is *supposed* to alter results)::
 
@@ -31,7 +32,7 @@ from repro.sched.runner import run_scheduler
 GOLDEN_PATH = Path(__file__).parent / "golden_table2_scale02.json"
 SCALE = 0.2
 SEED = 2016
-SCHEDULERS = ("pran", "cloudiq", "partitioned", "global", "rt-opex")
+SCHEDULERS = ("pran", "cloudiq", "partitioned", "global", "rt-opex", "das")
 
 
 def _sha256(path: Path) -> str:
@@ -49,7 +50,7 @@ def _build_workload():
 
 def _run_fingerprint(name: str, cfg, jobs, out_dir: Path) -> dict:
     """Run one scheduler fully traced; fingerprint the JSONL + CSV."""
-    run_cfg = cfg if name != "global" else CRanConfig(
+    run_cfg = cfg if name not in ("global", "das") else CRanConfig(
         transport_latency_us=500.0, num_cores=8
     )
     jsonl_path = out_dir / f"{name.replace('-', '')}.jsonl"
@@ -98,7 +99,7 @@ def test_scheduler_outputs_byte_identical(scheduler, golden_workload, golden, tm
     )
 
 
-def test_golden_covers_all_five(golden):
+def test_golden_covers_all_six(golden):
     assert sorted(golden["schedulers"]) == sorted(SCHEDULERS)
     assert golden["scale"] == SCALE
     assert golden["seed"] == SEED

@@ -1,0 +1,77 @@
+"""SoA-vs-legacy golden identity: both builder paths, same bytes out.
+
+The golden-trace suite pins the fast path against captures from before
+the optimization; this suite closes the loop *within* one tree by
+running every scheduler over the legacy-built and the SoA-built job
+lists and hashing the full JSONL trace + record CSV of each.  The two
+fingerprints must match byte for byte — if a future change breaks the
+equivalence of either builder, this fails without any golden refresh.
+"""
+
+import hashlib
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.results_io import save_result_csv
+from repro.obs import Tracer, tracing
+from repro.obs.export import JsonlTraceSink
+from repro.sched import CRanConfig
+from repro.sched.runner import build_workload, build_workload_legacy, run_scheduler
+
+SEED = 2016
+SUBFRAMES = 150
+SCHEDULERS = ("pran", "cloudiq", "partitioned", "global", "rt-opex", "das")
+
+
+def _sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _fingerprint(name: str, jobs, out_dir: Path, tag: str) -> dict:
+    cfg = CRanConfig(transport_latency_us=500.0)
+    if name in ("global", "das"):
+        cfg = CRanConfig(transport_latency_us=500.0, num_cores=8)
+    jsonl_path = out_dir / f"{tag}.jsonl"
+    csv_path = out_dir / f"{tag}.csv"
+    sink = JsonlTraceSink(jsonl_path)
+    with tracing(Tracer(sink=sink)):
+        result = run_scheduler(name, cfg, jobs, seed=SEED)
+    sink.close()
+    save_result_csv(csv_path, result)
+    fingerprint = {
+        "jsonl_sha256": _sha256(jsonl_path),
+        "csv_sha256": _sha256(csv_path),
+        "miss_count": result.miss_count(),
+    }
+    jsonl_path.unlink()
+    csv_path.unlink()
+    return fingerprint
+
+
+@pytest.fixture(scope="module")
+def both_workloads():
+    cfg = CRanConfig(transport_latency_us=500.0)
+    fast = build_workload(cfg, SUBFRAMES, seed=SEED)
+    legacy = build_workload_legacy(cfg, SUBFRAMES, seed=SEED)
+    return fast, legacy
+
+
+def test_job_lists_compare_equal(both_workloads):
+    fast, legacy = both_workloads
+    assert fast == legacy
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_soa_and_legacy_traces_byte_identical(scheduler, both_workloads, tmp_path):
+    fast, legacy = both_workloads
+    via_fast = _fingerprint(scheduler, fast, tmp_path, f"{scheduler}-fast")
+    via_legacy = _fingerprint(scheduler, legacy, tmp_path, f"{scheduler}-legacy")
+    assert via_fast == via_legacy, (
+        f"{scheduler}: SoA-built and legacy-built workloads produced "
+        f"different bytes: {via_fast} != {via_legacy}"
+    )

@@ -1,0 +1,192 @@
+"""SoA pipeline equivalence: arrays ↔ legacy dataclasses, bit for bit.
+
+The structure-of-arrays fast path is only admissible because every
+piece of it is provably identical to the scalar reference:
+
+* :func:`build_subtask_arrays` + :class:`WorkMaterializer` must
+  round-trip to exactly the :class:`SubframeWork` the legacy
+  :func:`build_subframe_work` constructs (hypothesis-driven over the
+  whole (MCS, iterations, CRC) space);
+* :meth:`IterationModel.draw_trace` must consume the RNG bitstream
+  exactly as per-subframe :meth:`draw_subframe` calls, leaving the
+  generator in the same end state;
+* :meth:`GrantMapper.mcs_for_trace` must agree elementwise with
+  :meth:`mcs_for_load`.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.lte.subframe import interned_grant
+from repro.sched.base import CRanConfig
+from repro.timing.iterations import IterationModel
+from repro.timing.model import LinearTimingModel, duration_oracle
+from repro.timing.tasks import (
+    KIND_DECODE,
+    KIND_FFT,
+    WorkMaterializer,
+    build_subframe_work,
+    build_subtask_arrays,
+)
+from repro.workload.mapping import GrantMapper
+
+MODEL = LinearTimingModel()
+MAX_ITERATIONS = 8
+
+
+def _arrays_for(mcs_list, iterations_flat, tables):
+    mcs = np.asarray(mcs_list, dtype=np.int64)
+    blocks = tables.code_blocks[mcs]
+    offsets = np.zeros(mcs.size + 1, dtype=np.int64)
+    np.cumsum(blocks, out=offsets[1:])
+    return build_subtask_arrays(
+        tables,
+        mcs,
+        np.zeros(mcs.size, dtype=np.int64),
+        np.arange(mcs.size, dtype=np.int64),
+        np.asarray(iterations_flat, dtype=np.int64),
+        offsets,
+    ), offsets
+
+
+@st.composite
+def subframe_batches(draw):
+    """A batch of (mcs, per-block iterations, crc) subframe specs."""
+    oracle = duration_oracle(MODEL, MAX_ITERATIONS)
+    tables = oracle.tables()
+    n = draw(st.integers(min_value=1, max_value=12))
+    mcs = draw(st.lists(st.integers(0, 27), min_size=n, max_size=n))
+    iterations = []
+    for m in mcs:
+        blocks = int(tables.code_blocks[m])
+        iterations.append(
+            draw(
+                st.lists(
+                    st.integers(1, MAX_ITERATIONS), min_size=blocks, max_size=blocks
+                )
+            )
+        )
+    crc = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    return mcs, iterations, crc
+
+
+@settings(max_examples=60, deadline=None)
+@given(subframe_batches())
+def test_soa_round_trips_to_legacy_specs(batch):
+    """SubtaskArrays → materialize == build_subframe_work, field for field."""
+    mcs, iterations, crc = batch
+    tables = duration_oracle(MODEL, MAX_ITERATIONS).tables()
+    flat = [l for its in iterations for l in its]
+    arrays, offsets = _arrays_for(mcs, flat, tables)
+    works = arrays.materialize_works(WorkMaterializer(tables), crc)
+    assert len(works) == len(mcs)
+    for i, work in enumerate(works):
+        legacy = build_subframe_work(
+            MODEL,
+            interned_grant(mcs[i]),
+            iterations[i],
+            max_iterations=MAX_ITERATIONS,
+            crc_pass=crc[i],
+        )
+        # Dataclass equality covers names, durations (exact floats),
+        # planned WCETs, parallelizability, iterations, and CRC.
+        assert work == legacy
+        # And the columnar view must agree with the specs row by row.
+        lo, hi = arrays.offsets[i], arrays.offsets[i + 1]
+        fft, _, decode = legacy.tasks
+        flat_specs = [(KIND_FFT, s) for s in fft.subtasks]
+        flat_specs += [(KIND_DECODE, s) for s in decode.subtasks]
+        assert hi - lo == len(flat_specs)
+        for row, (kind, spec) in zip(range(lo, hi), flat_specs):
+            assert arrays.kind[row] == kind
+            assert arrays.duration_us[row] == spec.duration_us
+            assert arrays.planned_us[row] == spec.planned_us
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.integers(0, 27), min_size=1, max_size=40),
+    st.integers(0, 2**31 - 1),
+    st.floats(min_value=0.0, max_value=40.0, allow_nan=False),
+)
+def test_draw_trace_matches_scalar_stream(mcs_list, seed, snr_db):
+    """draw_trace == per-subframe draw_subframe calls, same end state."""
+    model = IterationModel(max_iterations=MAX_ITERATIONS)
+    tables = duration_oracle(MODEL, MAX_ITERATIONS).tables()
+    mcs = np.asarray(mcs_list, dtype=np.int64)
+    blocks = tables.code_blocks[mcs]
+    offsets = np.zeros(mcs.size + 1, dtype=np.int64)
+    np.cumsum(blocks, out=offsets[1:])
+
+    batch_rng = np.random.default_rng(seed)
+    scalar_rng = np.random.default_rng(seed)
+    draw = model.draw_trace(mcs, snr_db, batch_rng, offsets)
+
+    scalar_iterations, scalar_crc = [], []
+    for i, m in enumerate(mcs_list):
+        d = model.draw_subframe(m, snr_db, scalar_rng, num_blocks=int(blocks[i]))
+        scalar_iterations.extend(d.iterations)
+        scalar_crc.append(d.crc_pass)
+    assert draw.iterations.tolist() == scalar_iterations
+    assert draw.crc_pass.tolist() == scalar_crc
+    # The generators consumed the exact same bitstream.
+    assert batch_rng.bit_generator.state == scalar_rng.bit_generator.state
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+                min_size=1, max_size=64))
+def test_mcs_for_trace_matches_scalar(loads):
+    mapper = GrantMapper()
+    vec = mapper.mcs_for_trace(np.array(loads))
+    assert vec.tolist() == [mapper.mcs_for_load(l) for l in loads]
+
+
+def test_mcs_for_trace_rejects_out_of_range():
+    mapper = GrantMapper()
+    for bad in ([-0.1], [1.1], [0.5, float("nan")]):
+        try:
+            mapper.mcs_for_trace(np.array(bad))
+        except ValueError as exc:
+            assert "load must be in [0, 1]" in str(exc)
+        else:
+            raise AssertionError(f"{bad} should have raised")
+
+
+def test_workload_fast_path_equals_legacy():
+    """End-to-end: the runner's SoA dispatch returns the legacy job list."""
+    from repro.sched.runner import build_workload, build_workload_legacy
+
+    cfg = CRanConfig(transport_latency_us=500.0)
+    fast = build_workload(cfg, 120, seed=2016)
+    legacy = build_workload_legacy(cfg, 120, seed=2016)
+    assert fast == legacy
+
+
+def test_workload_fast_path_interns_value_objects():
+    """Equal subframes share grant/work instances on the fast path."""
+    from repro.sched.runner import build_workload
+
+    cfg = CRanConfig(transport_latency_us=500.0)
+    jobs = build_workload(cfg, 200, seed=2016)
+    grants = {id(j.subframe.grant) for j in jobs}
+    mcs_values = {j.subframe.grant.mcs for j in jobs}
+    assert len(grants) == len(mcs_values)  # one instance per MCS
+    works = {id(j.work) for j in jobs}
+    assert len(works) < len(jobs)  # repeated draws collapse
+
+
+def test_custom_models_fall_back_to_legacy_builder():
+    """Subclassed models must bypass the SoA fast path (and still work)."""
+    from repro.sched.runner import build_workload, build_workload_legacy
+
+    class SlowMapper(GrantMapper):
+        def mcs_for_load(self, load):
+            return max(0, super().mcs_for_load(load) - 1)
+
+    cfg = CRanConfig(transport_latency_us=500.0)
+    mapper = SlowMapper()
+    fast = build_workload(cfg, 40, seed=2016, mapper=mapper)
+    legacy = build_workload_legacy(cfg, 40, seed=2016, mapper=mapper)
+    assert fast == legacy
+    assert all(j.subframe.grant.mcs <= 26 for j in fast)
